@@ -1,0 +1,234 @@
+// Command tricount counts triangles (and optionally local clustering
+// coefficients) on generated or file-based graphs with any of the
+// implemented algorithms.
+//
+// Examples:
+//
+//	tricount -gen rmat -n 65536 -algo cetric -p 16
+//	tricount -instance friendster -algo ditric2 -p 32 -lcc
+//	tricount -input graph.txt -algo cetric2 -p 8 -threads 4
+//	tricount -gen rhg -n 16384 -algo cetric -p 4 -approx -bits 8
+//
+// Multi-process TCP mode (run once per rank, same -peers list):
+//
+//	tricount -gen rmat -n 65536 -algo cetric -tcp-rank 0 -peers :9000,:9001
+//	tricount -gen rmat -n 65536 -algo cetric -tcp-rank 1 -peers :9000,:9001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tricount: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		genFamily  = flag.String("gen", "", "generator family: gnm|rmat|rgg2d|rhg")
+		instance   = flag.String("instance", "", "real-world stand-in instance (see -list)")
+		input      = flag.String("input", "", "edge list file (text: 'u v' per line)")
+		n          = flag.Int("n", 1<<14, "vertices for -gen")
+		edgeFactor = flag.Int("ef", 16, "edge factor m/n for -gen")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		scale      = flag.Int("scale", 0, "instance size shift (powers of two)")
+
+		algoName  = flag.String("algo", "cetric", "algorithm: seq|ditric|ditric2|cetric|cetric2|tric|havoq|noagg")
+		p         = flag.Int("p", 8, "number of PEs")
+		threshold = flag.Int("delta", 0, "aggregation threshold δ in words (0 = O(|E_i|))")
+		threads   = flag.Int("threads", 1, "threads per PE (hybrid mode)")
+		lcc       = flag.Bool("lcc", false, "compute local clustering coefficients")
+		sparse    = flag.Bool("sparse-degree", false, "sparse ghost degree exchange")
+		partBy    = flag.String("partition", "uniform", "1D partitioner: uniform|degree|wedges")
+
+		approx = flag.Bool("approx", false, "AMQ-approximate type-3 counting (CETRIC)")
+		bits   = flag.Float64("bits", 8, "Bloom filter bits per key for -approx")
+
+		tcpRank = flag.Int("tcp-rank", -1, "run as one rank of a TCP cluster (multi-process mode)")
+		peers   = flag.String("peers", "", "comma-separated listen addresses of all ranks")
+
+		list    = flag.Bool("list", false, "list instances and exit")
+		verbose = flag.Bool("v", false, "print per-phase and per-PE details")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, inst := range gen.Instances {
+			fmt.Printf("%-14s %-7s %s\n", inst.Name, inst.Class, inst.Notes)
+		}
+		return nil
+	}
+
+	g, err := buildGraph(*genFamily, *instance, *input, *n, *edgeFactor, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	if *algoName == "seq" {
+		start := time.Now()
+		count := core.SeqCount(g)
+		fmt.Printf("triangles: %d (sequential, %v)\n", count, time.Since(start).Round(time.Microsecond))
+		if *lcc {
+			printLCCSummary(core.SeqLCC(g))
+		}
+		return nil
+	}
+
+	cfg := core.Config{
+		P: *p, Threshold: *threshold, Threads: *threads,
+		LCC: *lcc, SparseDegreeExchange: *sparse,
+	}
+	switch *partBy {
+	case "uniform":
+	case "degree", "wedges":
+		degrees := make([]int, g.NumVertices())
+		for v := range degrees {
+			degrees[v] = g.Degree(graph.Vertex(v))
+		}
+		cost := part.CostDegree
+		if *partBy == "wedges" {
+			cost = part.CostWedges
+		}
+		cfg.Partition = part.ByCost(degrees, *p, cost)
+	default:
+		return fmt.Errorf("unknown partitioner %q", *partBy)
+	}
+
+	if *tcpRank >= 0 {
+		return runTCPRank(g, core.Algorithm(*algoName), cfg, *tcpRank, *peers)
+	}
+
+	if *approx {
+		res, err := core.RunApproxCetric(g, cfg, core.AMQConfig{BitsPerKey: *bits, Truthful: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("estimate: %.0f (exact type-1/2: %d, corrected type-3: %.0f) in %v\n",
+			res.Estimate, res.Exact12, res.Type3Estimate, res.Wall.Round(time.Microsecond))
+		printComm(res.Agg, res.PerPE)
+		return nil
+	}
+
+	res, err := core.Run(core.Algorithm(*algoName), g, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("triangles: %d in %v (p=%d, algo=%s)\n", res.Count, res.Wall.Round(time.Microsecond), *p, *algoName)
+	if res.TypeCounts != [3]uint64{} {
+		fmt.Printf("types: local=%d two-PE=%d three-PE=%d\n", res.TypeCounts[0], res.TypeCounts[1], res.TypeCounts[2])
+	}
+	printComm(res.Agg, res.PerPE)
+	if *verbose {
+		printPhases(res)
+	}
+	if *lcc {
+		printLCCSummary(res.LCC)
+	}
+	return nil
+}
+
+func buildGraph(family, instance, input string, n, ef, scale int, seed uint64) (*graph.Graph, error) {
+	switch {
+	case input != "":
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeListText(f)
+	case instance != "":
+		return gen.ByInstance(instance, scale, seed)
+	case family != "":
+		return gen.ByFamily(family, n, ef, seed)
+	default:
+		return nil, fmt.Errorf("need one of -gen, -instance, or -input")
+	}
+}
+
+func printComm(agg comm.Aggregate, per []comm.Metrics) {
+	fmt.Printf("comm: frames(max/total)=%s/%s volume(max/total words)=%s/%s peak-buffer(max)=%s\n",
+		human(agg.MaxSentFrames), human(agg.TotalFrames),
+		human(agg.MaxPayloadWords), human(agg.TotalPayload), human(agg.MaxPeakBuffered))
+	for _, prof := range costmodel.Profiles() {
+		fmt.Printf("  t_model(%s): %v\n", prof.Name, costmodel.Bottleneck(per, prof).Round(time.Microsecond))
+	}
+}
+
+func human(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func printPhases(res *core.Result) {
+	names := make([]string, 0, len(res.Phases))
+	for name := range res.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  phase %-12s %v\n", name, res.Phases[name].Round(time.Microsecond))
+	}
+}
+
+func printLCCSummary(lcc []float64) {
+	if len(lcc) == 0 {
+		return
+	}
+	var sum float64
+	for _, v := range lcc {
+		sum += v
+	}
+	fmt.Printf("lcc: mean=%.4f over %d vertices\n", sum/float64(len(lcc)), len(lcc))
+}
+
+// runTCPRank executes a single rank of a multi-process TCP cluster. Every
+// process generates the same deterministic graph and keeps only its part, so
+// no input distribution is needed.
+func runTCPRank(g *graph.Graph, algo core.Algorithm, cfg core.Config, rank int, peerList string) error {
+	addrs := strings.Split(peerList, ",")
+	if len(addrs) < 2 {
+		return fmt.Errorf("-peers needs at least two comma-separated addresses")
+	}
+	if rank >= len(addrs) {
+		return fmt.Errorf("-tcp-rank %d out of range for %d peers", rank, len(addrs))
+	}
+	cfg.P = len(addrs)
+	ep, err := transport.ListenTCP(rank, addrs, transport.TCPOptions{})
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	start := time.Now()
+	count, m, err := core.RunRank(algo, g, cfg, ep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d/%d: global triangles = %d in %v (this rank sent %d frames, %d payload words)\n",
+		rank, len(addrs), count, time.Since(start).Round(time.Millisecond), m.SentFrames, m.PayloadWords)
+	return nil
+}

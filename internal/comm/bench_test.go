@@ -1,0 +1,99 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// benchCluster runs body on p goroutine PEs once per iteration.
+func benchCluster(b *testing.B, p, threshold int, indirect bool, body func(rank int, c *Comm, q *Queue)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		net := transport.NewChanNetwork(p)
+		var wg sync.WaitGroup
+		for rank := 0; rank < p; rank++ {
+			ep, err := net.Endpoint(rank)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(rank int, ep transport.Endpoint) {
+				defer wg.Done()
+				c := New(ep)
+				var grid *Grid
+				if indirect {
+					grid = NewGrid(p)
+				}
+				body(rank, c, NewQueue(c, threshold, grid))
+			}(rank, ep)
+		}
+		wg.Wait()
+		net.Close()
+	}
+}
+
+// BenchmarkQueueAllToAll measures the aggregated all-to-all pattern of the
+// global phase, direct vs grid-indirect.
+func BenchmarkQueueAllToAll(b *testing.B) {
+	const p = 16
+	const records = 200
+	for _, indirect := range []bool{false, true} {
+		name := "direct"
+		if indirect {
+			name = "indirect"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchCluster(b, p, 1<<12, indirect, func(rank int, c *Comm, q *Queue) {
+				q.Handle(0, func(int, []uint64) {})
+				payload := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+				for r := 0; r < records; r++ {
+					for dst := 0; dst < p; dst++ {
+						if dst != rank {
+							q.Send(0, dst, payload)
+						}
+					}
+				}
+				q.Drain()
+			})
+		})
+	}
+}
+
+// BenchmarkDrainIdle measures the fixed cost of the termination protocol.
+func BenchmarkDrainIdle(b *testing.B) {
+	for _, p := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchCluster(b, p, 0, false, func(rank int, c *Comm, q *Queue) {
+				q.Drain()
+			})
+		})
+	}
+}
+
+// BenchmarkBarrier measures the collective round-trip.
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchCluster(b, p, 0, false, func(rank int, c *Comm, q *Queue) {
+				for i := 0; i < 10; i++ {
+					c.Barrier()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDenseExchange measures the degree-exchange primitive.
+func BenchmarkDenseExchange(b *testing.B) {
+	const p = 16
+	benchCluster(b, p, 0, false, func(rank int, c *Comm, q *Queue) {
+		data := make([][]uint64, p)
+		for dst := range data {
+			data[dst] = make([]uint64, 64)
+		}
+		c.DenseExchange(data)
+	})
+}

@@ -1,0 +1,139 @@
+package comm
+
+import "fmt"
+
+// Collectives. Simple coordinator-rooted implementations: their cost is
+// irrelevant to the measured quantities (they are metered as control
+// traffic), they only need to be correct on both transports.
+
+// Barrier blocks until every PE has entered it.
+func (c *Comm) Barrier() {
+	e := c.nextEpoch(kindBarrier)
+	p := c.Size()
+	if c.Rank() != 0 {
+		c.mustControl(0, []uint64{tag(kindBarrier, e)})
+		c.waitTag(tag(kindRelease, e))
+		return
+	}
+	for got := 1; got < p; got++ {
+		c.waitTag(tag(kindBarrier, e))
+	}
+	for dst := 1; dst < p; dst++ {
+		c.mustControl(dst, []uint64{tag(kindRelease, e)})
+	}
+}
+
+// AllreduceSum sums vec element-wise over all PEs; every PE receives the
+// result (vec is not modified).
+func (c *Comm) AllreduceSum(vec []uint64) []uint64 {
+	e := c.nextEpoch(kindReduce)
+	p := c.Size()
+	if c.Rank() != 0 {
+		msg := make([]uint64, 1+len(vec))
+		msg[0] = tag(kindReduce, e)
+		copy(msg[1:], vec)
+		c.mustControl(0, msg)
+		f := c.waitTag(tag(kindBcast, e))
+		out := make([]uint64, len(f.Words)-1)
+		copy(out, f.Words[1:])
+		return out
+	}
+	acc := make([]uint64, len(vec))
+	copy(acc, vec)
+	for got := 1; got < p; got++ {
+		f := c.waitTag(tag(kindReduce, e))
+		if len(f.Words)-1 != len(acc) {
+			panic(fmt.Sprintf("comm: allreduce length mismatch: %d vs %d", len(f.Words)-1, len(acc)))
+		}
+		for i, w := range f.Words[1:] {
+			acc[i] += w
+		}
+	}
+	msg := make([]uint64, 1+len(acc))
+	msg[0] = tag(kindBcast, e)
+	copy(msg[1:], acc)
+	for dst := 1; dst < p; dst++ {
+		c.mustControl(dst, msg)
+	}
+	return acc
+}
+
+// Gather collects each PE's vector at rank 0 (indexed by rank); other ranks
+// receive nil.
+func (c *Comm) Gather(vec []uint64) [][]uint64 {
+	e := c.nextEpoch(kindGather)
+	p := c.Size()
+	if c.Rank() != 0 {
+		msg := make([]uint64, 1+len(vec))
+		msg[0] = tag(kindGather, e)
+		copy(msg[1:], vec)
+		c.mustControl(0, msg)
+		return nil
+	}
+	out := make([][]uint64, p)
+	out[0] = append([]uint64(nil), vec...)
+	for got := 1; got < p; got++ {
+		f := c.wait(func(t uint64) bool { return t == tag(kindGather, e) })
+		out[f.Src] = append([]uint64(nil), f.Words[1:]...)
+	}
+	return out
+}
+
+// Broadcast sends vec from rank 0 to everyone and returns it (rank 0's input
+// is passed through).
+func (c *Comm) Broadcast(vec []uint64) []uint64 {
+	e := c.nextEpoch(kindBcast)
+	if c.Rank() == 0 {
+		msg := make([]uint64, 1+len(vec))
+		msg[0] = tag(kindBcast, e)
+		copy(msg[1:], vec)
+		for dst := 1; dst < c.Size(); dst++ {
+			c.mustControl(dst, msg)
+		}
+		return vec
+	}
+	f := c.waitTag(tag(kindBcast, e))
+	out := make([]uint64, len(f.Words)-1)
+	copy(out, f.Words[1:])
+	return out
+}
+
+// DenseExchange performs a dense irregular all-to-all: data[j] goes to PE j
+// (may be empty or nil), and the result holds one slice per source PE. This
+// is the "simple dense all-to-all" the paper uses for the ghost degree
+// exchange; the traffic is metered as data.
+func (c *Comm) DenseExchange(data [][]uint64) [][]uint64 {
+	e := c.nextEpoch(kindDense)
+	p := c.Size()
+	if len(data) != p {
+		panic(fmt.Sprintf("comm: DenseExchange needs %d slices, got %d", p, len(data)))
+	}
+	me := c.Rank()
+	out := make([][]uint64, p)
+	for dst := 0; dst < p; dst++ {
+		if dst == me {
+			out[me] = append([]uint64(nil), data[me]...)
+			continue
+		}
+		msg := make([]uint64, 1+len(data[dst]))
+		msg[0] = tag(kindDense, e)
+		copy(msg[1:], data[dst])
+		c.M.PayloadWords += int64(len(data[dst]))
+		if err := c.sendData(dst, msg); err != nil {
+			panic(fmt.Sprintf("comm: dense exchange to %d: %v", dst, err))
+		}
+	}
+	for got := 1; got < p; got++ {
+		f := c.wait(func(t uint64) bool { return t == tag(kindDense, e) })
+		c.M.RecvFrames++
+		c.M.RecvWords += int64(len(f.Words))
+		out[f.Src] = f.Words[1:]
+	}
+	return out
+}
+
+func (c *Comm) mustControl(dst int, words []uint64) {
+	if err := c.sendControl(dst, words); err != nil {
+		panic(fmt.Sprintf("comm: control to %d: %v", dst, err))
+	}
+}

@@ -1,0 +1,196 @@
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func runComms(t *testing.T, p int, body func(rank int, c *Comm)) {
+	t.Helper()
+	net := transport.NewChanNetwork(p)
+	defer net.Close()
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		ep, err := net.Endpoint(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(rank int, ep transport.Endpoint) {
+			defer wg.Done()
+			body(rank, New(ep))
+		}(rank, ep)
+	}
+	wg.Wait()
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	var before, violated atomic.Int64
+	runComms(t, p, func(rank int, c *Comm) {
+		before.Add(1)
+		c.Barrier()
+		if before.Load() != p {
+			violated.Add(1)
+		}
+	})
+	if violated.Load() > 0 {
+		t.Fatal("some PE passed the barrier before all entered")
+	}
+}
+
+func TestBarrierRepeated(t *testing.T) {
+	runComms(t, 5, func(rank int, c *Comm) {
+		for i := 0; i < 10; i++ {
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const p = 6
+	results := make([][]uint64, p)
+	runComms(t, p, func(rank int, c *Comm) {
+		results[rank] = c.AllreduceSum([]uint64{uint64(rank), 1, uint64(rank * rank)})
+	})
+	wantA, wantC := uint64(0), uint64(0)
+	for r := 0; r < p; r++ {
+		wantA += uint64(r)
+		wantC += uint64(r * r)
+	}
+	for rank, got := range results {
+		if got[0] != wantA || got[1] != p || got[2] != wantC {
+			t.Fatalf("PE %d: allreduce = %v, want [%d %d %d]", rank, got, wantA, p, wantC)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	const p = 4
+	var got [][]uint64
+	runComms(t, p, func(rank int, c *Comm) {
+		res := c.Gather([]uint64{uint64(rank * 10)})
+		if rank == 0 {
+			got = res
+		} else if res != nil {
+			t.Errorf("non-root PE %d got non-nil gather result", rank)
+		}
+	})
+	for rank := 0; rank < p; rank++ {
+		if len(got[rank]) != 1 || got[rank][0] != uint64(rank*10) {
+			t.Fatalf("gather[%d] = %v", rank, got[rank])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const p = 5
+	results := make([][]uint64, p)
+	runComms(t, p, func(rank int, c *Comm) {
+		var in []uint64
+		if rank == 0 {
+			in = []uint64{7, 8, 9}
+		}
+		results[rank] = c.Broadcast(in)
+	})
+	for rank, got := range results {
+		if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+			t.Fatalf("PE %d broadcast = %v", rank, got)
+		}
+	}
+}
+
+func TestDenseExchange(t *testing.T) {
+	const p = 5
+	results := make([][][]uint64, p)
+	runComms(t, p, func(rank int, c *Comm) {
+		data := make([][]uint64, p)
+		for dst := 0; dst < p; dst++ {
+			data[dst] = []uint64{uint64(rank), uint64(dst)}
+		}
+		results[rank] = c.DenseExchange(data)
+	})
+	for me := 0; me < p; me++ {
+		for src := 0; src < p; src++ {
+			got := results[me][src]
+			if len(got) != 2 || got[0] != uint64(src) || got[1] != uint64(me) {
+				t.Fatalf("PE %d from %d: %v", me, src, got)
+			}
+		}
+	}
+}
+
+func TestDenseExchangeEmptySlices(t *testing.T) {
+	const p = 3
+	runComms(t, p, func(rank int, c *Comm) {
+		res := c.DenseExchange(make([][]uint64, p))
+		for src, words := range res {
+			if len(words) != 0 {
+				t.Errorf("PE %d: unexpected words from %d: %v", rank, src, words)
+			}
+		}
+	})
+}
+
+func TestCollectivesInterleavedWithQueueTraffic(t *testing.T) {
+	// Data records arriving during a collective must be stashed, not lost.
+	const p = 4
+	var got [p]atomic.Int64
+	net := transport.NewChanNetwork(p)
+	defer net.Close()
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		ep, _ := net.Endpoint(rank)
+		wg.Add(1)
+		go func(rank int, ep transport.Endpoint) {
+			defer wg.Done()
+			c := New(ep)
+			q := NewQueue(c, 1, nil) // flush immediately: records fly early
+			q.Handle(0, func(src int, words []uint64) { got[rank].Add(int64(words[0])) })
+			// Send before the collective so frames arrive while peers sit in
+			// the allreduce.
+			for dst := 0; dst < p; dst++ {
+				if dst != rank {
+					q.Send(0, dst, []uint64{1})
+				}
+			}
+			c.AllreduceSum([]uint64{1})
+			q.Drain()
+		}(rank, ep)
+	}
+	wg.Wait()
+	for rank := 0; rank < p; rank++ {
+		if got[rank].Load() != p-1 {
+			t.Fatalf("PE %d got %d records, want %d", rank, got[rank].Load(), p-1)
+		}
+	}
+}
+
+func TestMetricsSubAndAdd(t *testing.T) {
+	a := Metrics{SentFrames: 10, SentWords: 100, PayloadWords: 80, RecvFrames: 9, RecvWords: 90, Flushes: 3, PeakBuffered: 50, ControlSent: 2}
+	b := Metrics{SentFrames: 4, SentWords: 40, PayloadWords: 30, RecvFrames: 4, RecvWords: 40, Flushes: 1, PeakBuffered: 20, ControlSent: 1}
+	d := a.Sub(b)
+	if d.SentFrames != 6 || d.SentWords != 60 || d.PayloadWords != 50 || d.Flushes != 2 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	var acc Metrics
+	acc.Add(a)
+	acc.Add(b)
+	if acc.SentFrames != 14 || acc.PeakBuffered != 50 {
+		t.Fatalf("Add wrong: %+v", acc)
+	}
+}
+
+func TestAggregateOf(t *testing.T) {
+	per := []Metrics{
+		{SentFrames: 5, SentWords: 50, PayloadWords: 40, PeakBuffered: 10},
+		{SentFrames: 9, SentWords: 30, PayloadWords: 70, PeakBuffered: 99},
+	}
+	a := AggregateOf(per)
+	if a.TotalFrames != 14 || a.MaxSentFrames != 9 || a.MaxPayloadWords != 70 || a.MaxPeakBuffered != 99 {
+		t.Fatalf("aggregate wrong: %+v", a)
+	}
+}

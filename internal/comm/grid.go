@@ -1,0 +1,70 @@
+package comm
+
+import "math"
+
+// Grid implements the paper's two-dimensional logical PE grid for indirect
+// message delivery (§IV-B). PEs are arranged row-major into a grid with
+// ⌊√p + ½⌋ columns; a message from sender s to destination d is first sent
+// along s's row to the proxy in d's column, which forwards it down the
+// column. When p is not square the last row may be partial, and a proxy in
+// it may not exist; the paper's fix — transpose the last row and append it
+// as a column on the right, then pick the proxy along the (virtual) row — is
+// implemented by indexing with the sender's column as row, falling back to a
+// direct send if that PE does not exist either.
+type Grid struct {
+	p    int
+	cols int
+}
+
+// NewGrid builds the routing grid for p PEs.
+func NewGrid(p int) *Grid {
+	cols := int(math.Floor(math.Sqrt(float64(p)) + 0.5))
+	if cols < 1 {
+		cols = 1
+	}
+	return &Grid{p: p, cols: cols}
+}
+
+// Cols returns the number of grid columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Rows returns the number of grid rows (the last may be partial).
+func (g *Grid) Rows() int { return (g.p + g.cols - 1) / g.cols }
+
+// RowCol returns the grid coordinates of a rank.
+func (g *Grid) RowCol(rank int) (row, col int) { return rank / g.cols, rank % g.cols }
+
+// Proxy returns the first-hop PE for a message from s to d. If it returns d
+// (or s itself maps to the proxy), the message goes directly.
+func (g *Grid) Proxy(s, d int) int {
+	if s == d {
+		return d
+	}
+	sRow, _ := g.RowCol(s)
+	_, dCol := g.RowCol(d)
+	proxy := sRow*g.cols + dCol
+	if proxy < g.p {
+		if proxy == s {
+			return d // s is its own proxy: direct column hop
+		}
+		return proxy
+	}
+	// s lies in the partial last row and d's column has no entry there:
+	// transpose the last row, i.e. use s's column index as the virtual row.
+	_, sCol := g.RowCol(s)
+	proxy = sCol*g.cols + dCol
+	if proxy < g.p && proxy != s {
+		return proxy
+	}
+	return d
+}
+
+// NextHop returns where PE me should forward a message ultimately destined
+// for d: the proxy when me is the original sender, the destination when me
+// is the proxy (or when no useful proxy exists).
+func (g *Grid) NextHop(me, d int, origin bool) int {
+	if !origin || me == d {
+		return d
+	}
+	return g.Proxy(me, d)
+}

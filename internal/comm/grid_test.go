@@ -1,0 +1,112 @@
+package comm
+
+import "testing"
+
+func TestGridShapes(t *testing.T) {
+	cases := []struct {
+		p, cols int
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {6, 2}, {9, 3}, {12, 3}, {16, 4}, {17, 4}, {24, 5}, {64, 8},
+	}
+	for _, c := range cases {
+		g := NewGrid(c.p)
+		if g.Cols() != c.cols {
+			t.Errorf("p=%d: cols=%d, want %d", c.p, g.Cols(), c.cols)
+		}
+	}
+}
+
+func TestProxyValidForAllPairs(t *testing.T) {
+	for p := 1; p <= 70; p++ {
+		g := NewGrid(p)
+		for s := 0; s < p; s++ {
+			for d := 0; d < p; d++ {
+				proxy := g.Proxy(s, d)
+				if proxy < 0 || proxy >= p {
+					t.Fatalf("p=%d: proxy(%d,%d)=%d out of range", p, s, d, proxy)
+				}
+				if s == d && proxy != d {
+					t.Fatalf("p=%d: self route via %d", p, proxy)
+				}
+				// Two-hop maximum: the proxy's next hop must be the target.
+				if proxy != d {
+					if nh := g.NextHop(proxy, d, false); nh != d {
+						t.Fatalf("p=%d: path longer than 2 hops (%d->%d->%d->%d)", p, s, proxy, nh, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProxySharedWithinRow(t *testing.T) {
+	// On a perfect square grid, all senders in one row use the same proxy
+	// for a given destination — that is what enables re-aggregation.
+	g := NewGrid(16)
+	d := 14 // row 3, col 2
+	for row := 0; row < 4; row++ {
+		want := row*4 + 2
+		for col := 0; col < 4; col++ {
+			s := row*4 + col
+			if s == d {
+				continue
+			}
+			got := g.Proxy(s, d)
+			if s == want {
+				// The sender is its own proxy: direct hop.
+				if got != d {
+					t.Fatalf("proxy(%d,%d) = %d, want direct %d", s, d, got, d)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("proxy(%d,%d) = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestProxyPeerCountIsRoot(t *testing.T) {
+	// Each PE should have O(√p) distinct first-hop destinations.
+	for _, p := range []int{16, 36, 64} {
+		g := NewGrid(p)
+		for s := 0; s < p; s++ {
+			peers := make(map[int]bool)
+			for d := 0; d < p; d++ {
+				if d != s {
+					peers[g.Proxy(s, d)] = true
+				}
+			}
+			limit := 3 * g.Cols()
+			if len(peers) > limit {
+				t.Fatalf("p=%d: PE %d has %d first-hop peers, want <= %d", p, s, len(peers), limit)
+			}
+		}
+	}
+}
+
+func TestNonSquareLastRowTranspose(t *testing.T) {
+	// p=7: cols=3, rows=3, last row holds only rank 6. A sender in the last
+	// row with a missing proxy must still find a valid <=2 hop route.
+	g := NewGrid(7)
+	if g.Rows() != 3 {
+		t.Fatalf("rows = %d", g.Rows())
+	}
+	for d := 0; d < 7; d++ {
+		if d == 6 {
+			continue
+		}
+		proxy := g.Proxy(6, d)
+		if proxy < 0 || proxy >= 7 {
+			t.Fatalf("invalid proxy %d", proxy)
+		}
+	}
+}
+
+func TestRowCol(t *testing.T) {
+	g := NewGrid(12) // cols 3
+	r, c := g.RowCol(7)
+	if r != 2 || c != 1 {
+		t.Fatalf("RowCol(7) = (%d,%d), want (2,1)", r, c)
+	}
+}

@@ -1,0 +1,99 @@
+// Package comm implements the paper's communication layer on top of a
+// transport: the dynamically buffered message queue with per-destination
+// aggregation and threshold δ (§IV-A), grid-based indirect message delivery
+// (§IV-B), an asynchronous sparse all-to-all with distributed termination
+// detection, dense exchanges, and basic collectives. All traffic is metered
+// in messages and machine words, matching the paper's reported quantities.
+package comm
+
+// Metrics counts one PE's communication. Frames and words are transport
+// level (including forwarding hops under indirection, exactly like the
+// paper's measured traffic); PayloadWords is the algorithm-level record
+// volume. Control traffic (termination probes, collectives) is kept in a
+// separate counter so the algorithm numbers stay clean.
+type Metrics struct {
+	SentFrames   int64 // data frames handed to the transport
+	SentWords    int64 // words in data frames (envelope headers included)
+	PayloadWords int64 // algorithm record words (the paper's "volume")
+	RecvFrames   int64
+	RecvWords    int64
+	Flushes      int64 // buffer flush events
+	PeakBuffered int64 // max words ever buffered at once (queue memory)
+	ControlSent  int64 // control frames (probes, collective traffic)
+	Peers        int64 // distinct data-frame destinations (O(√p) under grid routing)
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.SentFrames += other.SentFrames
+	m.SentWords += other.SentWords
+	m.PayloadWords += other.PayloadWords
+	m.RecvFrames += other.RecvFrames
+	m.RecvWords += other.RecvWords
+	m.Flushes += other.Flushes
+	m.ControlSent += other.ControlSent
+	if other.PeakBuffered > m.PeakBuffered {
+		m.PeakBuffered = other.PeakBuffered
+	}
+	if other.Peers > m.Peers {
+		m.Peers = other.Peers
+	}
+}
+
+// Sub returns m - start for the monotone counters; PeakBuffered keeps m's
+// value. Used for per-phase accounting.
+func (m Metrics) Sub(start Metrics) Metrics {
+	return Metrics{
+		SentFrames:   m.SentFrames - start.SentFrames,
+		SentWords:    m.SentWords - start.SentWords,
+		PayloadWords: m.PayloadWords - start.PayloadWords,
+		RecvFrames:   m.RecvFrames - start.RecvFrames,
+		RecvWords:    m.RecvWords - start.RecvWords,
+		Flushes:      m.Flushes - start.Flushes,
+		PeakBuffered: m.PeakBuffered,
+		ControlSent:  m.ControlSent - start.ControlSent,
+		Peers:        m.Peers,
+	}
+}
+
+// Aggregate summarizes per-PE metrics the way the paper reports them:
+// maximum outgoing messages over all PEs and bottleneck (max) volume, plus
+// totals.
+type Aggregate struct {
+	TotalFrames     int64
+	TotalWords      int64
+	TotalPayload    int64
+	MaxSentFrames   int64 // "sent messages" series of Fig. 5
+	MaxSentWords    int64
+	MaxPayloadWords int64 // "bottleneck communication volume" of Fig. 5
+	MaxPeakBuffered int64 // TriC's OOM indicator
+	MaxPeers        int64 // max distinct destinations over PEs
+	ControlSent     int64
+}
+
+// AggregateOf folds per-PE metrics.
+func AggregateOf(per []Metrics) Aggregate {
+	var a Aggregate
+	for _, m := range per {
+		a.TotalFrames += m.SentFrames
+		a.TotalWords += m.SentWords
+		a.TotalPayload += m.PayloadWords
+		a.ControlSent += m.ControlSent
+		if m.SentFrames > a.MaxSentFrames {
+			a.MaxSentFrames = m.SentFrames
+		}
+		if m.SentWords > a.MaxSentWords {
+			a.MaxSentWords = m.SentWords
+		}
+		if m.PayloadWords > a.MaxPayloadWords {
+			a.MaxPayloadWords = m.PayloadWords
+		}
+		if m.PeakBuffered > a.MaxPeakBuffered {
+			a.MaxPeakBuffered = m.PeakBuffered
+		}
+		if m.Peers > a.MaxPeers {
+			a.MaxPeers = m.Peers
+		}
+	}
+	return a
+}

@@ -1,0 +1,274 @@
+package comm
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// MaxChannels is the number of logical message channels a Queue multiplexes.
+// Algorithms use separate channels for independent message types (e.g.
+// neighborhood shipments vs. degree requests vs. LCC updates).
+const MaxChannels = 8
+
+// Handler processes one received record: src is the originating PE (not the
+// proxy under indirection), words the record payload.
+type Handler func(src int, words []uint64)
+
+// Queue is the paper's dynamically buffered message queue (§IV-A): one
+// buffer per next-hop destination held in a hash map, a global threshold δ
+// on the total buffered words, flush-all on overflow with buffer swap
+// (double buffering: the full buffer is handed to the asynchronous transport
+// while a fresh one fills), and continuous polling for incoming messages.
+//
+// With a Grid attached it performs the paper's indirect message delivery
+// (§IV-B): records are first shipped to a row proxy, which re-aggregates
+// them in its own queue before the column hop, so the per-PE peer count
+// drops to O(√p).
+//
+// Drain implements the asynchronous sparse all-to-all: it flushes, keeps
+// processing (and forwarding) incoming records, and detects global
+// quiescence with a coordinator-based four-counter termination protocol, so
+// memory stays O(δ) regardless of the total traffic — the property the
+// paper needs for its linear-memory guarantee.
+type Queue struct {
+	c         *Comm
+	grid      *Grid // nil => direct delivery
+	threshold int   // δ in words
+
+	bufs     map[int][]uint64
+	buffered int
+	handlers [MaxChannels]Handler
+
+	// Termination counters (data frames only).
+	sent int64
+	recv int64
+
+	round uint64 // coordinator probe round
+}
+
+// envelope header: [finalDst, origSrc, channel, payloadLen]
+const envHdr = 4
+
+// NewQueue creates a message queue. threshold is δ in machine words; values
+// ≤ 0 select a default of 1<<16 words. grid may be nil for direct delivery.
+func NewQueue(c *Comm, threshold int, grid *Grid) *Queue {
+	if threshold <= 0 {
+		threshold = 1 << 16
+	}
+	return &Queue{
+		c:         c,
+		grid:      grid,
+		threshold: threshold,
+		bufs:      make(map[int][]uint64),
+	}
+}
+
+// Comm returns the underlying Comm (for metrics access).
+func (q *Queue) Comm() *Comm { return q.c }
+
+// Handle registers the handler for a channel. Must be set before any record
+// for that channel can arrive.
+func (q *Queue) Handle(ch int, h Handler) {
+	q.handlers[ch] = h
+}
+
+// Send enqueues a record for dst on the given channel. Local destinations
+// are delivered immediately without touching the network. The payload is
+// copied into the aggregation buffer, so the caller may reuse it.
+func (q *Queue) Send(ch, dst int, payload []uint64) {
+	if ch < 0 || ch >= MaxChannels {
+		panic(fmt.Sprintf("comm: channel %d out of range", ch))
+	}
+	me := q.c.Rank()
+	q.c.M.PayloadWords += int64(len(payload))
+	if dst == me {
+		q.dispatch(ch, me, payload)
+		return
+	}
+	hop := dst
+	if q.grid != nil {
+		hop = q.grid.NextHop(me, dst, true)
+	}
+	q.append(hop, dst, me, ch, payload)
+}
+
+// append adds an envelope to the buffer for next hop and flushes everything
+// if the threshold is exceeded.
+func (q *Queue) append(hop, finalDst, origSrc, ch int, payload []uint64) {
+	buf := q.bufs[hop]
+	if buf == nil {
+		buf = make([]uint64, 1, 1+envHdr+len(payload))
+		buf[0] = tag(kindData, 0)
+	}
+	buf = append(buf, uint64(finalDst), uint64(origSrc), uint64(ch), uint64(len(payload)))
+	buf = append(buf, payload...)
+	q.bufs[hop] = buf
+	q.buffered += envHdr + len(payload)
+	if int64(q.buffered) > q.c.M.PeakBuffered {
+		q.c.M.PeakBuffered = int64(q.buffered)
+	}
+	if q.buffered > q.threshold {
+		q.Flush()
+		// Overflow pressure: give receivers a chance to drain before we keep
+		// producing, mirroring the paper's "block only if the second buffer
+		// overflows" behaviour.
+		q.Poll()
+	}
+}
+
+// Flush sends every non-empty buffer to its next hop and installs fresh
+// buffers (the double-buffer swap).
+func (q *Queue) Flush() {
+	if q.buffered == 0 {
+		return
+	}
+	for hop, buf := range q.bufs {
+		if len(buf) <= 1 {
+			continue
+		}
+		q.sent++
+		q.c.M.Flushes++
+		q.c.notePeer(hop)
+		if err := q.c.sendData(hop, buf); err != nil {
+			panic(fmt.Sprintf("comm: flush to %d: %v", hop, err))
+		}
+		delete(q.bufs, hop)
+	}
+	q.buffered = 0
+}
+
+// Poll processes all currently pending data frames; it returns true if it
+// processed at least one.
+func (q *Queue) Poll() bool {
+	any := false
+	for {
+		f, ok := q.c.next(func(t uint64) bool { return t&kindMask == kindData })
+		if !ok {
+			return any
+		}
+		q.processData(f.Words)
+		any = true
+	}
+}
+
+// processData walks the envelopes of a data frame, dispatching records for
+// this PE and re-buffering records to forward (proxy role).
+func (q *Queue) processData(words []uint64) {
+	q.recv++
+	q.c.M.RecvFrames++
+	q.c.M.RecvWords += int64(len(words))
+	me := q.c.Rank()
+	i := 1 // skip tag word
+	for i < len(words) {
+		finalDst := int(words[i])
+		origSrc := int(words[i+1])
+		ch := int(words[i+2])
+		n := int(words[i+3])
+		payload := words[i+4 : i+4+n]
+		i += envHdr + n
+		if finalDst == me {
+			q.dispatch(ch, origSrc, payload)
+		} else {
+			// Proxy hop: re-aggregate toward the final destination.
+			q.append(finalDst, finalDst, origSrc, ch, payload)
+		}
+	}
+}
+
+func (q *Queue) dispatch(ch, src int, payload []uint64) {
+	h := q.handlers[ch]
+	if h == nil {
+		panic(fmt.Sprintf("comm: no handler for channel %d on PE %d", ch, q.c.Rank()))
+	}
+	h(src, payload)
+}
+
+// Drain flushes all buffers and processes incoming traffic until global
+// quiescence: no PE holds buffered records and every sent frame has been
+// received and processed. Every PE of the cluster must call Drain; rank 0
+// coordinates the four-counter termination protocol.
+func (q *Queue) Drain() {
+	q.Flush()
+	if q.c.Rank() == 0 {
+		q.drainCoordinator()
+	} else {
+		q.drainWorker()
+	}
+}
+
+func (q *Queue) drainCoordinator() {
+	p := q.c.Size()
+	var prevSent, prevRecv int64 = -1, -1
+	for {
+		// Make progress on data and keep our own buffers empty.
+		q.Poll()
+		q.Flush()
+
+		// Probe round: collect (sent, recv) from everyone.
+		round := q.round
+		q.round++
+		for dst := 1; dst < p; dst++ {
+			if err := q.c.sendControl(dst, []uint64{tag(kindProbe, round)}); err != nil {
+				panic(fmt.Sprintf("comm: probe to %d: %v", dst, err))
+			}
+		}
+		sumSent, sumRecv := q.sent, q.recv
+		for got := 1; got < p; {
+			f, ok := q.c.next(func(t uint64) bool {
+				return t == tag(kindReply, round) || t&kindMask == kindData
+			})
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if f.Words[0]&kindMask == kindData {
+				q.processData(f.Words)
+				q.Flush()
+				continue
+			}
+			sumSent += int64(f.Words[1])
+			sumRecv += int64(f.Words[2])
+			got++
+		}
+		if sumSent == sumRecv && sumSent == prevSent && sumRecv == prevRecv {
+			for dst := 1; dst < p; dst++ {
+				if err := q.c.sendControl(dst, []uint64{tag(kindTerm, 0)}); err != nil {
+					panic(fmt.Sprintf("comm: term to %d: %v", dst, err))
+				}
+			}
+			return
+		}
+		prevSent, prevRecv = sumSent, sumRecv
+	}
+}
+
+func (q *Queue) drainWorker() {
+	for {
+		f, ok := q.c.next(func(t uint64) bool {
+			k := t & kindMask
+			return k == kindData || k == kindProbe || k == kindTerm
+		})
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		switch f.Words[0] & kindMask {
+		case kindData:
+			q.processData(f.Words)
+		case kindProbe:
+			// Flush before reporting, so buffered forwards are visible in the
+			// counters (otherwise the protocol could terminate early).
+			q.Flush()
+			round := f.Words[0] >> 16
+			reply := []uint64{tag(kindReply, round), uint64(q.sent), uint64(q.recv)}
+			if err := q.c.sendControl(0, reply); err != nil {
+				panic(fmt.Sprintf("comm: reply: %v", err))
+			}
+		case kindTerm:
+			return
+		}
+	}
+}
+
+// Buffered returns the number of words currently buffered (for tests).
+func (q *Queue) Buffered() int { return q.buffered }

@@ -1,0 +1,318 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// runCluster spawns p goroutines with a Comm+Queue each and waits for all.
+func runCluster(t *testing.T, p int, threshold int, indirect bool, body func(rank int, c *Comm, q *Queue)) []Metrics {
+	t.Helper()
+	net := transport.NewChanNetwork(p)
+	defer net.Close()
+	metrics := make([]Metrics, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		ep, err := net.Endpoint(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(rank int, ep transport.Endpoint) {
+			defer wg.Done()
+			c := New(ep)
+			var grid *Grid
+			if indirect {
+				grid = NewGrid(p)
+			}
+			q := NewQueue(c, threshold, grid)
+			body(rank, c, q)
+			metrics[rank] = c.M
+		}(rank, ep)
+	}
+	wg.Wait()
+	return metrics
+}
+
+func TestQueueDeliversAllRecordsExactlyOnce(t *testing.T) {
+	for _, indirect := range []bool{false, true} {
+		for _, p := range []int{2, 3, 7, 16} {
+			const perPair = 20
+			received := make([]map[uint64]int, p)
+			runCluster(t, p, 64, indirect, func(rank int, c *Comm, q *Queue) {
+				recv := make(map[uint64]int)
+				received[rank] = recv
+				q.Handle(0, func(src int, words []uint64) {
+					for _, w := range words {
+						recv[w]++
+					}
+				})
+				c.Barrier()
+				for dst := 0; dst < p; dst++ {
+					if dst == rank {
+						continue
+					}
+					for k := 0; k < perPair; k++ {
+						// Unique tokens: sender, dst, k.
+						token := uint64(rank)<<32 | uint64(dst)<<16 | uint64(k)
+						q.Send(0, dst, []uint64{token})
+					}
+				}
+				q.Drain()
+			})
+			for dst := 0; dst < p; dst++ {
+				wantTotal := (p - 1) * perPair
+				total := 0
+				for token, cnt := range received[dst] {
+					if cnt != 1 {
+						t.Fatalf("p=%d indirect=%v: token %x delivered %d times", p, indirect, token, cnt)
+					}
+					if int(token>>16&0xffff) != dst {
+						t.Fatalf("token %x delivered to wrong PE %d", token, dst)
+					}
+					total++
+				}
+				if total != wantTotal {
+					t.Fatalf("p=%d indirect=%v: PE %d got %d records, want %d", p, indirect, dst, total, wantTotal)
+				}
+			}
+		}
+	}
+}
+
+func TestQueueSelfSendDispatchesInline(t *testing.T) {
+	runCluster(t, 2, 0, false, func(rank int, c *Comm, q *Queue) {
+		got := 0
+		q.Handle(0, func(src int, words []uint64) {
+			if src != rank {
+				t.Errorf("self-send src = %d", src)
+			}
+			got += len(words)
+		})
+		q.Send(0, rank, []uint64{1, 2, 3})
+		if got != 3 {
+			t.Errorf("self send delivered %d words", got)
+		}
+		q.Drain()
+	})
+}
+
+func TestQueueThresholdControlsFlushes(t *testing.T) {
+	// A tiny threshold flushes per record; a huge one flushes only at Drain.
+	counts := map[int]int64{}
+	for _, threshold := range []int{1, 1 << 20} {
+		ms := runCluster(t, 2, threshold, false, func(rank int, c *Comm, q *Queue) {
+			q.Handle(0, func(int, []uint64) {})
+			if rank == 0 {
+				for i := 0; i < 100; i++ {
+					q.Send(0, 1, []uint64{uint64(i)})
+				}
+			}
+			q.Drain()
+		})
+		counts[threshold] = ms[0].SentFrames
+	}
+	if counts[1] < 100 {
+		t.Fatalf("tiny threshold sent %d frames, want >= 100", counts[1])
+	}
+	if counts[1<<20] != 1 {
+		t.Fatalf("huge threshold sent %d frames, want exactly 1", counts[1<<20])
+	}
+}
+
+func TestQueuePeakBufferedRespectsThreshold(t *testing.T) {
+	ms := runCluster(t, 2, 256, false, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(int, []uint64) {})
+		if rank == 0 {
+			for i := 0; i < 1000; i++ {
+				q.Send(0, 1, []uint64{uint64(i), uint64(i), uint64(i)})
+			}
+		}
+		q.Drain()
+	})
+	// Peak may exceed the threshold by at most one record (checked after
+	// append), never by an unbounded amount.
+	if ms[0].PeakBuffered > 256+16 {
+		t.Fatalf("peak buffered %d greatly exceeds threshold", ms[0].PeakBuffered)
+	}
+}
+
+func TestQueueHandlerTriggersReplies(t *testing.T) {
+	// Request/reply inside a single Drain (the sparse all-to-all pattern).
+	const p = 5
+	replies := make([]int, p)
+	runCluster(t, p, 32, false, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(src int, words []uint64) {
+			q.Send(1, src, []uint64{words[0] * 2})
+		})
+		q.Handle(1, func(src int, words []uint64) {
+			replies[rank] += int(words[0])
+		})
+		c.Barrier()
+		for dst := 0; dst < p; dst++ {
+			if dst != rank {
+				q.Send(0, dst, []uint64{uint64(rank)})
+			}
+		}
+		q.Drain()
+	})
+	for rank, got := range replies {
+		if got != 2*rank*(p-1) {
+			t.Fatalf("PE %d got reply sum %d, want %d", rank, got, 2*rank*(p-1))
+		}
+	}
+}
+
+func TestQueueMultipleDrains(t *testing.T) {
+	const p = 4
+	var sums [p]uint64
+	runCluster(t, p, 16, true, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(src int, words []uint64) { sums[rank] += words[0] })
+		for round := 0; round < 5; round++ {
+			dst := (rank + 1 + round) % p
+			if dst != rank {
+				q.Send(0, dst, []uint64{1})
+			}
+			q.Drain()
+		}
+	})
+	var total uint64
+	for _, s := range sums {
+		total += s
+	}
+	// 5 rounds × p senders, minus self-sends (when dst == rank).
+	var want uint64
+	for round := 0; round < 5; round++ {
+		for rank := 0; rank < p; rank++ {
+			if (rank+1+round)%p != rank {
+				want++
+			}
+		}
+	}
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestQueuePayloadConservation(t *testing.T) {
+	// Total payload received must equal total payload sent, and with
+	// indirection the transport words must exceed the payload words.
+	const p = 9
+	var recvWords [p]int64
+	ms := runCluster(t, p, 128, true, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(src int, words []uint64) { recvWords[rank] += int64(len(words)) })
+		c.Barrier()
+		for dst := 0; dst < p; dst++ {
+			if dst != rank {
+				q.Send(0, dst, []uint64{1, 2, 3, 4, 5})
+			}
+		}
+		q.Drain()
+	})
+	var sentPayload, gotPayload, transported int64
+	for i := 0; i < p; i++ {
+		sentPayload += ms[i].PayloadWords
+		gotPayload += recvWords[i]
+		transported += ms[i].SentWords
+	}
+	if sentPayload != gotPayload {
+		t.Fatalf("payload conservation violated: sent %d, received %d", sentPayload, gotPayload)
+	}
+	if transported <= sentPayload {
+		t.Fatalf("indirection should transport more words than payload: %d vs %d", transported, sentPayload)
+	}
+}
+
+func TestQueueUnknownChannelPanics(t *testing.T) {
+	runCluster(t, 1, 0, false, func(rank int, c *Comm, q *Queue) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for unhandled channel")
+			}
+		}()
+		q.Send(3, 0, []uint64{1})
+	})
+}
+
+func TestQueueChannelRangePanics(t *testing.T) {
+	runCluster(t, 1, 0, false, func(rank int, c *Comm, q *Queue) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range channel")
+			}
+		}()
+		q.Send(MaxChannels, 0, []uint64{1})
+	})
+}
+
+func TestDrainOnEmptyQueue(t *testing.T) {
+	// Draining with no traffic at all must terminate.
+	for _, p := range []int{1, 2, 5} {
+		runCluster(t, p, 0, false, func(rank int, c *Comm, q *Queue) {
+			q.Drain()
+			q.Drain()
+		})
+	}
+}
+
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Heavy random traffic with forwarding, small threshold, odd PE count.
+	const p = 11
+	var got [p]uint64
+	runCluster(t, p, 7, true, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(src int, words []uint64) {
+			for _, w := range words {
+				got[rank] += w
+			}
+		})
+		c.Barrier()
+		seed := uint64(rank + 1)
+		for i := 0; i < 5000; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			dst := int(seed>>33) % p
+			if dst != rank {
+				q.Send(0, dst, []uint64{1})
+			}
+		}
+		q.Drain()
+	})
+	var total uint64
+	for _, g := range got {
+		total += g
+	}
+	if total == 0 {
+		t.Fatal("no traffic delivered")
+	}
+}
+
+func ExampleQueue() {
+	net := transport.NewChanNetwork(2)
+	defer net.Close()
+	var wg sync.WaitGroup
+	out := make(chan string, 1)
+	for rank := 0; rank < 2; rank++ {
+		ep, _ := net.Endpoint(rank)
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := New(ep)
+			q := NewQueue(c, 0, nil)
+			q.Handle(0, func(src int, words []uint64) {
+				out <- fmt.Sprintf("PE %d got %v from PE %d", c.Rank(), words, src)
+			})
+			if rank == 0 {
+				q.Send(0, 1, []uint64{42})
+			}
+			q.Drain()
+		}(rank)
+	}
+	wg.Wait()
+	fmt.Println(<-out)
+	// Output: PE 1 got [42] from PE 0
+}

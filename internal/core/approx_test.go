@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestApproxCetricExact12MatchesCetric(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 41))
+	for _, p := range []int{2, 4, 7} {
+		exact, err := Run(AlgoCetric, g, Config{P: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := RunApproxCetric(g, Config{P: p}, AMQConfig{BitsPerKey: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want12 := exact.TypeCounts[0] + exact.TypeCounts[1]
+		if approx.Exact12 != want12 {
+			t.Fatalf("p=%d: exact12 = %d, want %d", p, approx.Exact12, want12)
+		}
+	}
+}
+
+func TestApproxCetricOverestimatesBeforeCorrection(t *testing.T) {
+	// Bloom filters can only produce false positives, so the raw type-3
+	// count must be >= the true type-3 count.
+	g := gen.GNM(600, 7200, 3) // GNM: many type-3 triangles
+	p := 6
+	exact, err := Run(AlgoCetric, g, Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := RunApproxCetric(g, Config{P: p}, AMQConfig{BitsPerKey: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Type3Raw < exact.TypeCounts[2] {
+		t.Fatalf("raw type-3 %d below true %d: false negatives?", approx.Type3Raw, exact.TypeCounts[2])
+	}
+}
+
+func TestApproxCetricAccuracyImprovesWithBits(t *testing.T) {
+	g := gen.GNM(500, 6000, 11)
+	p := 5
+	exact, err := Run(AlgoCetric, g, Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(exact.Count)
+	var prevErr float64 = math.Inf(1)
+	improved := 0
+	for _, bits := range []float64{2, 6, 16} {
+		approx, err := RunApproxCetric(g, Config{P: p}, AMQConfig{BitsPerKey: bits, Truthful: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(approx.Estimate-truth) / truth
+		if relErr < prevErr {
+			improved++
+		}
+		prevErr = relErr
+		if bits >= 16 && relErr > 0.05 {
+			t.Fatalf("16 bits/key should be near exact, rel err %.4f", relErr)
+		}
+	}
+	if improved == 0 {
+		t.Fatal("accuracy never improved with more bits")
+	}
+}
+
+func TestApproxCetricTruthfulCorrectionHelps(t *testing.T) {
+	g := gen.GNM(500, 6000, 13)
+	p := 5
+	exact, err := Run(AlgoCetric, g, Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(exact.Count)
+	raw, err := RunApproxCetric(g, Config{P: p}, AMQConfig{BitsPerKey: 3, Truthful: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := RunApproxCetric(g, Config{P: p}, AMQConfig{BitsPerKey: 3, Truthful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRaw := math.Abs(raw.Estimate - truth)
+	errCorr := math.Abs(corr.Estimate - truth)
+	if errCorr > errRaw {
+		t.Fatalf("truthful correction made it worse: |%f-%f| vs |%f-%f|",
+			corr.Estimate, truth, raw.Estimate, truth)
+	}
+}
+
+func TestApproxCetricBlockedFilter(t *testing.T) {
+	g := gen.GNM(400, 4000, 17)
+	approx, err := RunApproxCetric(g, Config{P: 4}, AMQConfig{BitsPerKey: 12, Blocked: true, Truthful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(AlgoCetric, g, Config{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(approx.Estimate-float64(exact.Count)) / float64(exact.Count)
+	if relErr > 0.1 {
+		t.Fatalf("blocked filter estimate off by %.2f%%", relErr*100)
+	}
+}
+
+func TestApproxVolumeBelowExactOnWideNeighborhoods(t *testing.T) {
+	// With few bits per key the AMQ payload must undercut shipping the
+	// plain neighborhoods.
+	g := gen.GNM(800, 12800, 19)
+	p := 8
+	exact, err := Run(AlgoCetric, g, Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := RunApproxCetric(g, Config{P: p}, AMQConfig{BitsPerKey: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Agg.TotalPayload >= exact.Agg.TotalPayload {
+		t.Fatalf("AMQ payload %d not below exact global payload %d",
+			approx.Agg.TotalPayload, exact.Agg.TotalPayload)
+	}
+}
+
+func TestApproxLCCTracksExact(t *testing.T) {
+	g := gen.WebGraph(gen.WebConfig{N: 512, HostSize: 16, IntraP: 0.5, LongFactor: 3, Seed: 7})
+	exactLCC := SeqLCC(g)
+	res, err := RunApproxCetric(g, Config{P: 6, LCC: true}, AMQConfig{BitsPerKey: 12, Truthful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LCCEstimates) != g.NumVertices() {
+		t.Fatalf("LCC estimates length %d", len(res.LCCEstimates))
+	}
+	var mae float64
+	for v := range exactLCC {
+		mae += math.Abs(res.LCCEstimates[v] - exactLCC[v])
+	}
+	mae /= float64(len(exactLCC))
+	if mae > 0.05 {
+		t.Fatalf("approximate LCC mean abs error %.4f too high", mae)
+	}
+	// Delta estimates must total ~3 triangles each.
+	var sumD float64
+	for _, d := range res.DeltaEstimates {
+		sumD += d
+	}
+	if math.Abs(sumD-3*res.Estimate)/(3*res.Estimate) > 0.01 {
+		t.Fatalf("Δ estimates sum %.1f, want ≈ 3×%.1f", sumD, res.Estimate)
+	}
+}
+
+func TestApproxLCCExactWhenNoType3(t *testing.T) {
+	// A clique chain partitioned so that all triangles stay within one or
+	// two PEs: the estimate must be exact.
+	g := gen.CliqueChain(8, 6)
+	_, wantDeltas := SeqDeltas(g)
+	res, err := RunApproxCetric(g, Config{P: 4, LCC: true}, AMQConfig{BitsPerKey: 8, Truthful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range wantDeltas {
+		if math.Abs(res.DeltaEstimates[v]-float64(want)) > 1e-9 {
+			t.Fatalf("Δ̂(%d) = %f, want %d", v, res.DeltaEstimates[v], want)
+		}
+	}
+}
+
+func TestDoulionUnbiasedish(t *testing.T) {
+	g := gen.GNM(300, 3000, 23)
+	truth := float64(SeqCount(g))
+	var sum float64
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		est, _, err := RunDoulion(AlgoDiTric, g, Config{P: 3}, 0.6, uint64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth)/truth > 0.25 {
+		t.Fatalf("DOULION mean %f too far from truth %f", mean, truth)
+	}
+}
+
+func TestDoulionQ1IsExact(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 29))
+	est, res, err := RunDoulion(AlgoCetric, g, Config{P: 4}, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(est) != SeqCount(g) || res.Count != SeqCount(g) {
+		t.Fatalf("q=1 must be exact: est %f, want %d", est, SeqCount(g))
+	}
+}
+
+func TestDoulionRejectsBadQ(t *testing.T) {
+	g := gen.Complete(5)
+	if _, _, err := RunDoulion(AlgoDiTric, g, Config{P: 2}, 0, 1); err == nil {
+		t.Fatal("want error for q=0")
+	}
+	if _, _, err := RunDoulion(AlgoDiTric, g, Config{P: 2}, 1.5, 1); err == nil {
+		t.Fatal("want error for q>1")
+	}
+}
+
+func TestColorfulUnbiasedish(t *testing.T) {
+	g := gen.GNM(300, 3000, 31)
+	truth := float64(SeqCount(g))
+	var sum float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		est, _, err := RunColorful(AlgoDiTric, g, Config{P: 3}, 2, uint64(2000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth)/truth > 0.3 {
+		t.Fatalf("colorful mean %f too far from truth %f", mean, truth)
+	}
+}
+
+func TestColorfulOneColorIsExact(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 37))
+	est, _, err := RunColorful(AlgoCetric, g, Config{P: 4}, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(est) != SeqCount(g) {
+		t.Fatalf("1 color must be exact: %f vs %d", est, SeqCount(g))
+	}
+	if _, _, err := RunColorful(AlgoDiTric, g, Config{P: 2}, 0, 1); err == nil {
+		t.Fatal("want error for 0 colors")
+	}
+}
+
+func TestColorfulSparsifierKeepsMonochromaticEdgesOnly(t *testing.T) {
+	g := gen.GNM(200, 2000, 41)
+	mono := SparsifyColorful(g, 3, 5)
+	if mono.NumEdges() >= g.NumEdges() {
+		t.Fatal("sparsifier did not remove edges")
+	}
+	color := func(v uint64) uint64 { return gen.Hash64(5, v) % 3 }
+	mono.ForEachEdge(func(u, v uint64) {
+		if color(u) != color(v) {
+			t.Fatalf("non-monochromatic edge (%d,%d) kept", u, v)
+		}
+	})
+}
+
+func TestExpectedAMQWords(t *testing.T) {
+	if w := ExpectedAMQWords(64, 8); w != 2+2+8 {
+		t.Fatalf("ExpectedAMQWords = %d", w)
+	}
+}

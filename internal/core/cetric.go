@@ -1,0 +1,146 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// cetricBody is CETRIC (Algorithm 3): the contraction-based two-phase
+// algorithm. The local phase runs EDGE ITERATOR on the expanded local graph
+// (locals + ghosts) and finds every type-1 and type-2 triangle without any
+// communication; the contraction step removes all non-cut edges; the global
+// phase runs the DITRIC machinery on the remaining cut graph, which by
+// Lemma 1 contains exactly the type-3 triangles.
+func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
+	sw := newStopwatch(pe.C, out)
+	sw.phase(PhasePreprocess)
+
+	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	// Expansion: orient every row, including ghosts (their visible
+	// neighborhoods are the rewired incoming cut edges).
+	ori := graph.OrientLocal(lg)
+	state := newCountState(lg, cfg)
+
+	// The global-phase receive handler intersects with the *contracted*
+	// A-lists. cut is assigned in the contraction phase, strictly before any
+	// chNeigh record can be dispatched: dispatch only happens inside this
+	// PE's Poll/Drain calls, the first of which is in its own global phase.
+	var cut *graph.LocalOriented
+	// Hybrid mode funnels receive-side intersections to a worker pool; the
+	// pool resolves cut lazily (it is assigned in the contraction phase,
+	// strictly before the first task can be dispatched).
+	var pool *recvPool
+	if cfg.Threads > 1 {
+		pool = newRecvPool(cfg.Threads, lg, cfg, func() *graph.LocalOriented { return cut })
+	}
+	pe.Q.Handle(chNeigh, func(src int, words []uint64) {
+		v := words[0]
+		list := words[1:]
+		if pool != nil {
+			pool.submit(v, list)
+			return
+		}
+		for _, u := range list {
+			if !lg.IsLocal(u) {
+				continue
+			}
+			c := state.countEdge(v, u, list, cut.Out(lg.Row(u)))
+			state.t3 += c
+		}
+	})
+	pe.Q.Handle(chNeighEdge, func(src int, words []uint64) {
+		v, u := words[0], words[1]
+		list := words[2:]
+		if lg.IsLocal(u) {
+			c := state.countEdge(v, u, list, cut.Out(lg.Row(u)))
+			state.t3 += c
+		}
+	})
+	pe.Q.Handle(chDelta, state.handleDelta)
+	pe.C.Barrier()
+
+	sw.phase(PhaseLocal)
+	if cfg.Threads > 1 {
+		hybridCetricLocal(lg, ori, state, cfg)
+	} else {
+		cetricLocalPhase(lg, ori, state, 0, lg.Rows())
+	}
+
+	sw.phase(PhaseContraction)
+	cut = ori.Contract()
+
+	sw.phase(PhaseGlobal)
+	buf := make([]uint64, 0, 256)
+	for r := 0; r < lg.NLocal(); r++ {
+		v := lg.GID(int32(r))
+		av := cut.Out(int32(r))
+		if len(av) < 2 {
+			continue
+		}
+		lastRank := -1
+		for _, u := range av {
+			if cfg.NoSurrogate {
+				buf = append(buf[:0], v, u)
+				buf = append(buf, av...)
+				pe.Q.Send(chNeighEdge, pt.Rank(u), buf)
+				continue
+			}
+			// Surrogate dedup: av is ID-sorted, ranks are contiguous.
+			if j := pt.Rank(u); j != lastRank {
+				buf = append(buf[:0], v)
+				buf = append(buf, av...)
+				pe.Q.Send(chNeigh, j, buf)
+				lastRank = j
+			}
+		}
+	}
+	pe.Q.Drain()
+	if pool != nil {
+		poolState := newCountState(lg, cfg)
+		pool.drain(poolState)
+		state.t3 += poolState.count
+		state.merge(poolState)
+	}
+
+	if cfg.LCC {
+		sw.phase(PhasePostprocess)
+		state.flushGhostDeltas(pe)
+		pe.Q.Drain()
+	}
+	sw.stop()
+	state.finish(out)
+	return nil
+}
+
+// cetricLocalPhase runs EDGE ITERATOR over rows [lo,hi) of the expanded
+// local graph, counting and classifying type-1/type-2 triangles.
+func cetricLocalPhase(lg *graph.LocalGraph, ori *graph.LocalOriented, state *countState, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		v := lg.GID(int32(r))
+		av := ori.Out(int32(r))
+		vLocal := r < lg.NLocal()
+		for _, u := range av {
+			row := lg.Row(u)
+			au := ori.Out(row)
+			uLocal := lg.IsLocal(u)
+			if !vLocal || !uLocal {
+				// At most one corner of a local-phase triangle is remote, and
+				// here it is v or u: everything found is type 2.
+				c := state.countEdge(v, u, av, au)
+				state.t2 += c
+				continue
+			}
+			// Both wedge endpoints local: the closing vertex decides the type.
+			graph.ForEachCommon(av, au, func(w graph.Vertex) {
+				state.add(v, u, w)
+				if lg.IsLocal(w) {
+					state.t1++
+				} else {
+					state.t2++
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// testGraphs returns a diverse set of instances with known-good sequential
+// counts, spanning every structural regime the algorithms care about.
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"K12":        gen.Complete(12),
+		"bipartite":  gen.CompleteBipartite(7, 9),
+		"friendship": gen.Friendship(9),
+		"cliques":    gen.CliqueChain(6, 7),
+		"trigrid":    gen.TriangularGrid(9, 7),
+		"gnm":        gen.GNM(200, 1600, 7),
+		"rmat":       gen.RMAT(gen.DefaultRMAT(8, 11)),
+		"rgg":        gen.RGG2D(300, 8, 13),
+		"rhg":        gen.RHG(gen.RHGConfig{N: 300, AvgDegree: 12, Gamma: 2.8, Seed: 17}),
+		"road":       gen.RoadNetwork(16, 16, 0.2, 19),
+		"web":        gen.WebGraph(gen.WebConfig{N: 256, HostSize: 16, IntraP: 0.5, LongFactor: 3, Seed: 23}),
+		"sparse":     gen.GNM(100, 50, 29),
+	}
+}
+
+var testPEs = []int{1, 2, 3, 4, 7, 8}
+
+func TestDistributedAlgorithmsMatchSequential(t *testing.T) {
+	graphs := testGraphs()
+	for name, g := range graphs {
+		want := SeqCount(g)
+		for _, algo := range Algorithms() {
+			for _, p := range testPEs {
+				t.Run(fmt.Sprintf("%s/%s/p=%d", algo, name, p), func(t *testing.T) {
+					res, err := Run(algo, g, Config{P: p})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Count != want {
+						t.Fatalf("%s on %s with p=%d: count = %d, want %d", algo, name, p, res.Count, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestCetricTypeCountsSumToTotal(t *testing.T) {
+	for name, g := range testGraphs() {
+		want := SeqCount(g)
+		for _, p := range []int{1, 3, 4, 8} {
+			res, err := Run(AlgoCetric, g, Config{P: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := res.TypeCounts[0] + res.TypeCounts[1] + res.TypeCounts[2]
+			if sum != want {
+				t.Errorf("%s p=%d: type counts %v sum to %d, want %d", name, p, res.TypeCounts, sum, want)
+			}
+			if p == 1 && (res.TypeCounts[1] != 0 || res.TypeCounts[2] != 0) {
+				t.Errorf("%s p=1: expected only type-1 triangles, got %v", name, res.TypeCounts)
+			}
+		}
+	}
+}
+
+func TestDistributedLCCMatchesSequential(t *testing.T) {
+	for name, g := range testGraphs() {
+		wantCount, wantDeltas := SeqDeltas(g)
+		for _, algo := range []Algorithm{AlgoDiTric, AlgoDiTric2, AlgoCetric, AlgoCetric2} {
+			for _, p := range []int{1, 3, 4, 8} {
+				res, err := Run(algo, g, Config{P: p, LCC: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Count != wantCount {
+					t.Fatalf("%s/%s p=%d: count %d want %d", algo, name, p, res.Count, wantCount)
+				}
+				for v, want := range wantDeltas {
+					if res.Deltas[v] != want {
+						t.Fatalf("%s/%s p=%d: Δ(%d) = %d, want %d", algo, name, p, v, res.Deltas[v], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedEnumerationMatchesSequential(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 3))
+	want := make(map[[3]graph.Vertex]bool)
+	SeqEnumerate(g, func(v, u, w graph.Vertex) { want[canonTriangle(v, u, w)] = true })
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric, AlgoCetric2} {
+		for _, p := range []int{2, 5} {
+			res, err := Run(algo, g, Config{P: p, Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Triangles) != len(want) {
+				t.Fatalf("%s p=%d: %d triangles collected, want %d", algo, p, len(res.Triangles), len(want))
+			}
+			seen := make(map[[3]graph.Vertex]bool)
+			for _, tri := range res.Triangles {
+				if seen[tri] {
+					t.Fatalf("%s p=%d: duplicate triangle %v", algo, p, tri)
+				}
+				seen[tri] = true
+				if !want[tri] {
+					t.Fatalf("%s p=%d: spurious triangle %v", algo, p, tri)
+				}
+			}
+		}
+	}
+}
+
+func TestSparseDegreeExchange(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 5))
+	want := SeqCount(g)
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+		res, err := Run(algo, g, Config{P: 6, SparseDegreeExchange: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("%s with sparse degree exchange: %d, want %d", algo, res.Count, want)
+		}
+	}
+}
+
+func TestNonUniformPartitions(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 21))
+	want := SeqCount(g)
+	degrees := make([]int, g.NumVertices())
+	for v := range degrees {
+		degrees[v] = g.Degree(graph.Vertex(v))
+	}
+	for _, cost := range []part.CostFunc{part.CostDegree, part.CostDegreeSq, part.CostWedges} {
+		pt := part.ByCost(degrees, 5, cost)
+		for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric, AlgoHavoq, AlgoTriC} {
+			res, err := Run(algo, g, Config{P: 5, Partition: pt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("%s with cost partition: %d, want %d", algo, res.Count, want)
+			}
+		}
+	}
+}
+
+func TestHybridThreadsMatchSequential(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 31))
+	want := SeqCount(g)
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoDiTric2, AlgoCetric} {
+		for _, threads := range []int{2, 4} {
+			res, err := Run(algo, g, Config{P: 4, Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("%s threads=%d: %d, want %d", algo, threads, res.Count, want)
+			}
+		}
+	}
+}
+
+func TestHybridLCC(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 37))
+	_, wantDeltas := SeqDeltas(g)
+	res, err := Run(AlgoCetric, g, Config{P: 3, Threads: 4, LCC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range wantDeltas {
+		if res.Deltas[v] != want {
+			t.Fatalf("hybrid LCC: Δ(%d) = %d, want %d", v, res.Deltas[v], want)
+		}
+	}
+}
+
+func TestTinyThresholdStillCorrect(t *testing.T) {
+	// Aggressive flushing (δ=1 word) must not change results, only costs.
+	g := gen.GNM(150, 900, 77)
+	want := SeqCount(g)
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoDiTric2, AlgoCetric2, AlgoHavoq} {
+		res, err := Run(algo, g, Config{P: 7, Threshold: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("%s δ=1: %d, want %d", algo, res.Count, want)
+		}
+	}
+}
+
+func TestNoAggSendsMoreMessages(t *testing.T) {
+	g := gen.GNM(300, 2400, 5)
+	buffered, err := Run(AlgoDiTric, g, Config{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbuffered, err := Run(AlgoNoAgg, g, Config{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbuffered.Count != buffered.Count {
+		t.Fatalf("count mismatch: %d vs %d", unbuffered.Count, buffered.Count)
+	}
+	if unbuffered.Agg.TotalFrames <= 2*buffered.Agg.TotalFrames {
+		t.Errorf("expected unbuffered to send many more frames: %d vs %d",
+			unbuffered.Agg.TotalFrames, buffered.Agg.TotalFrames)
+	}
+}
+
+func TestIndirectionReducesPeers(t *testing.T) {
+	// On GNM with p=16, every PE talks to every other PE directly; with the
+	// grid it talks to O(√p) peers. Frame counts shift accordingly, and the
+	// result must not change.
+	g := gen.GNM(400, 6400, 9)
+	want := SeqCount(g)
+	direct, err := Run(AlgoDiTric, g, Config{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indirect, err := Run(AlgoDiTric2, g, Config{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Count != want || indirect.Count != want {
+		t.Fatalf("counts: direct %d, indirect %d, want %d", direct.Count, indirect.Count, want)
+	}
+	// Indirection roughly doubles total words (two hops per record).
+	if indirect.Agg.TotalWords <= direct.Agg.TotalWords {
+		t.Errorf("indirect routing should increase total transported words: %d vs %d",
+			indirect.Agg.TotalWords, direct.Agg.TotalWords)
+	}
+	// On GNM every PE has traffic for every other PE, so direct routing uses
+	// p-1 peers while the grid caps first-hop fan-out near 2√p.
+	if direct.Agg.MaxPeers < 15 {
+		t.Errorf("direct DITRIC should talk to all peers, got %d", direct.Agg.MaxPeers)
+	}
+	if indirect.Agg.MaxPeers > 10 {
+		t.Errorf("grid routing should cap peers near 2√p = 8, got %d", indirect.Agg.MaxPeers)
+	}
+}
+
+func TestNoSurrogateStillCorrectButRedundant(t *testing.T) {
+	// Without Arifuzzaman's dedup each neighborhood ships once per cut edge
+	// instead of once per destination PE: same count, more volume.
+	g := gen.RMAT(gen.DefaultRMAT(9, 61))
+	want := SeqCount(g)
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+		dedup, err := Run(algo, g, Config{P: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		redundant, err := Run(algo, g, Config{P: 8, NoSurrogate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dedup.Count != want || redundant.Count != want {
+			t.Fatalf("%s: counts %d/%d, want %d", algo, dedup.Count, redundant.Count, want)
+		}
+		if redundant.Agg.TotalPayload <= dedup.Agg.TotalPayload {
+			t.Errorf("%s: redundant sends should increase volume: %d vs %d",
+				algo, redundant.Agg.TotalPayload, dedup.Agg.TotalPayload)
+		}
+	}
+}
+
+func TestNoSurrogateHybrid(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 67))
+	want := SeqCount(g)
+	res, err := Run(AlgoDiTric, g, Config{P: 4, Threads: 3, NoSurrogate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("hybrid no-surrogate: %d, want %d", res.Count, want)
+	}
+}
+
+func TestNoSurrogateLCC(t *testing.T) {
+	g := gen.GNM(300, 2400, 71)
+	_, wantDeltas := SeqDeltas(g)
+	res, err := Run(AlgoCetric, g, Config{P: 5, NoSurrogate: true, LCC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range wantDeltas {
+		if res.Deltas[v] != want {
+			t.Fatalf("no-surrogate LCC: Δ(%d) = %d, want %d", v, res.Deltas[v], want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// ditricBody is DITRIC (Algorithm 2 plus the engineering of §IV-A/B): the
+// distributed EDGE ITERATOR with degree orientation, dynamic message
+// aggregation, the surrogate dedup of Arifuzzaman et al. (each A(v) sent at
+// most once per destination PE), and — when the queue routes through the
+// grid — indirect delivery (DITRIC2).
+func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
+	sw := newStopwatch(pe.C, out)
+	sw.phase(PhasePreprocess)
+
+	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	ori := graph.OrientLocalOnly(lg)
+	state := newCountState(lg, cfg)
+
+	// Hybrid mode funnels receive-side intersections to a worker pool
+	// (§IV-D); single-threaded mode intersects inline.
+	var pool *recvPool
+	if cfg.Threads > 1 {
+		pool = newRecvPool(cfg.Threads, lg, cfg, func() *graph.LocalOriented { return ori })
+	}
+	pe.Q.Handle(chNeigh, func(src int, words []uint64) {
+		v := words[0]
+		list := words[1:]
+		if pool != nil {
+			pool.submit(v, list)
+			return
+		}
+		for _, u := range list {
+			if !lg.IsLocal(u) {
+				continue
+			}
+			state.countEdge(v, u, list, ori.Out(lg.Row(u)))
+		}
+	})
+	pe.Q.Handle(chNeighEdge, func(src int, words []uint64) {
+		v, u := words[0], words[1]
+		list := words[2:]
+		if lg.IsLocal(u) {
+			state.countEdge(v, u, list, ori.Out(lg.Row(u)))
+		}
+	})
+	pe.Q.Handle(chDelta, state.handleDelta)
+	pe.C.Barrier() // everyone finished preprocessing; handlers are live
+
+	sw.phase(PhaseLocal)
+	if cfg.Threads > 1 {
+		hybridDitricLocal(pe, lg, ori, state, cfg)
+	} else {
+		ditricLocalRows(pe, pt, lg, ori, state, 0, lg.NLocal(), nil, cfg.NoSurrogate)
+	}
+
+	sw.phase(PhaseGlobal)
+	pe.Q.Drain()
+	if pool != nil {
+		pool.drain(state)
+	}
+
+	if cfg.LCC {
+		sw.phase(PhasePostprocess)
+		state.flushGhostDeltas(pe)
+		pe.Q.Drain()
+	}
+	sw.stop()
+	state.finish(out)
+	return nil
+}

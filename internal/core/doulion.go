@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The two classic approximation baselines of §III-B. Both reduce the input
+// and then use any exact (distributed) triangle counter as a black box,
+// scaling the result back up — exactly how the paper frames them.
+
+// SparsifyDoulion keeps each edge independently with probability q
+// (Tsourakakis et al., DOULION). Each triangle survives with probability q³.
+func SparsifyDoulion(g *graph.Graph, q float64, seed uint64) *graph.Graph {
+	var kept []graph.Edge
+	i := uint64(0)
+	g.ForEachEdge(func(u, v graph.Vertex) {
+		if gen.HashFloat64(seed, i) < q {
+			kept = append(kept, graph.Edge{U: u, V: v})
+		}
+		i++
+	})
+	return graph.FromEdges(g.NumVertices(), kept)
+}
+
+// RunDoulion estimates the triangle count: sparsify with probability q,
+// count exactly with algo, scale by 1/q³.
+func RunDoulion(algo Algorithm, g *graph.Graph, cfg Config, q float64, seed uint64) (float64, *Result, error) {
+	if q <= 0 || q > 1 {
+		return 0, nil, fmt.Errorf("core: DOULION probability %v out of (0,1]", q)
+	}
+	sparse := SparsifyDoulion(g, q, seed)
+	res, err := Run(algo, sparse, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return float64(res.Count) / (q * q * q), res, nil
+}
+
+// SparsifyColorful colors vertices uniformly with ncolors colors and keeps
+// only monochromatic edges (Pagh & Tsourakakis). Each triangle survives iff
+// all three corners share a color: probability 1/ncolors².
+func SparsifyColorful(g *graph.Graph, ncolors int, seed uint64) *graph.Graph {
+	color := func(v graph.Vertex) uint64 { return gen.Hash64(seed, v) % uint64(ncolors) }
+	var kept []graph.Edge
+	g.ForEachEdge(func(u, v graph.Vertex) {
+		if color(u) == color(v) {
+			kept = append(kept, graph.Edge{U: u, V: v})
+		}
+	})
+	return graph.FromEdges(g.NumVertices(), kept)
+}
+
+// RunColorful estimates the triangle count via colorful sparsification:
+// count the monochromatic graph exactly, scale by ncolors².
+func RunColorful(algo Algorithm, g *graph.Graph, cfg Config, ncolors int, seed uint64) (float64, *Result, error) {
+	if ncolors < 1 {
+		return 0, nil, fmt.Errorf("core: need at least one color, got %d", ncolors)
+	}
+	mono := SparsifyColorful(g, ncolors, seed)
+	res, err := Run(algo, mono, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := float64(ncolors)
+	return float64(res.Count) * n * n, res, nil
+}

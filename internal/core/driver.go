@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/transport"
+)
+
+// Run executes a distributed triangle counting algorithm on g with cfg.P
+// simulated PEs and returns the merged result. The graph is scattered the
+// way a distributed loader would: each PE receives exactly the edges
+// incident to its contiguous vertex range.
+func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("core: config needs P > 0")
+	}
+	pt := cfg.Partition
+	if pt == nil {
+		pt = part.Uniform(uint64(g.NumVertices()), cfg.P)
+	} else if pt.P() != cfg.P || pt.N() != uint64(g.NumVertices()) {
+		return nil, fmt.Errorf("core: partition shape (p=%d,n=%d) does not match run (p=%d,n=%d)",
+			pt.P(), pt.N(), cfg.P, g.NumVertices())
+	}
+	if cfg.LCC {
+		switch algo {
+		case AlgoDiTric, AlgoDiTric2, AlgoCetric, AlgoCetric2:
+		default:
+			return nil, fmt.Errorf("core: LCC is only supported by DITRIC/CETRIC, not %s", algo)
+		}
+	}
+
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		// δ ∈ O(|E_i|): memory per PE stays linear in the local input.
+		threshold = 2 * g.NumEdges() / cfg.P
+		if threshold < 1024 {
+			threshold = 1024
+		}
+	}
+	indirect := cfg.Indirect
+	body, indirectDefault, err := bodyFor(algo)
+	if err != nil {
+		return nil, err
+	}
+	indirect = indirect || indirectDefault
+	if algo == AlgoNoAgg {
+		threshold = 1 // flush after every record: no aggregation
+	}
+
+	perEdges := graph.ScatterEdges(pt, g.Edges())
+	outcomes := make([]*peOutcome, cfg.P)
+	start := time.Now()
+	metrics, err := dist.Run(dist.Config{
+		P: cfg.P, Threshold: threshold, Indirect: indirect, Network: cfg.Network,
+	}, func(pe *dist.PE) error {
+		out := newPEOutcome()
+		outcomes[pe.Rank] = out
+		return body(pe, pt, perEdges[pe.Rank], cfg, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := mergeOutcomes(outcomes, metrics, g, cfg)
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// RunRank executes a single rank of a multi-process cluster on an existing
+// transport endpoint (the other ranks run the same code in their own
+// processes). Each process deterministically rebuilds the input and keeps
+// only its slice, so no data distribution is needed. Returns the global
+// triangle count (agreed via an allreduce) and this rank's metrics.
+func RunRank(algo Algorithm, g *graph.Graph, cfg Config, ep transport.Endpoint) (uint64, comm.Metrics, error) {
+	cfg = cfg.withDefaults()
+	cfg.P = ep.Size()
+	pt := cfg.Partition
+	if pt == nil {
+		pt = part.Uniform(uint64(g.NumVertices()), cfg.P)
+	}
+	body, indirectDefault, err := bodyFor(algo)
+	if err != nil {
+		return 0, comm.Metrics{}, err
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = 2 * g.NumEdges() / cfg.P
+		if threshold < 1024 {
+			threshold = 1024
+		}
+	}
+	pe := dist.Attach(ep, threshold, cfg.Indirect || indirectDefault)
+	edges := graph.ScatterEdges(pt, g.Edges())[pe.Rank]
+	out := newPEOutcome()
+	if err := body(pe, pt, edges, cfg, out); err != nil {
+		return 0, pe.C.M, err
+	}
+	global := pe.C.AllreduceSum([]uint64{out.count})
+	return global[0], pe.C.M, nil
+}
+
+// peBody is the SPMD body of one algorithm.
+type peBody func(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error
+
+// bodyFor resolves an algorithm name; the second result forces indirection
+// (the "2" variants).
+func bodyFor(algo Algorithm) (peBody, bool, error) {
+	switch algo {
+	case AlgoDiTric:
+		return ditricBody, false, nil
+	case AlgoDiTric2:
+		return ditricBody, true, nil
+	case AlgoCetric:
+		return cetricBody, false, nil
+	case AlgoCetric2:
+		return cetricBody, true, nil
+	case AlgoTriC:
+		return tricBody, false, nil
+	case AlgoHavoq:
+		return havoqBody, false, nil
+	case AlgoNoAgg:
+		return ditricBody, false, nil
+	default:
+		return nil, false, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// havoqBody reimplements the HavoqGT-style vertex-centric counter (Pearce et
+// al.) from its published description: on the degree-oriented graph, every
+// PE generates all open wedges (u,v,w) of its local vertices — all pairs of
+// outgoing neighbors — and sends a "visitor" to the owner of the ≺-smaller
+// endpoint, which checks for the closing edge. Message aggregation uses the
+// same buffered queue as our algorithms (standing in for HavoqGT's
+// node-level rerouting, which is topology dependent).
+//
+// Its communication volume is proportional to the number of *remote wedges*
+// (two words per visitor), not to the cut neighborhoods — the structural
+// reason it loses against DITRIC/CETRIC on wedge-rich graphs. HavoqGT's
+// neighborhood partitioning of extreme hubs is not reproduced; see
+// DESIGN.md §1.
+func havoqBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
+	sw := newStopwatch(pe.C, out)
+	sw.phase(PhasePreprocess)
+
+	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	ori := graph.OrientLocalOnly(lg)
+	state := newCountState(lg, cfg)
+
+	// closes reports whether the oriented edge (a,b) exists, for local a.
+	closes := func(a, b graph.Vertex) bool {
+		_, ok := slices.BinarySearch(ori.Out(lg.Row(a)), b)
+		return ok
+	}
+	pe.Q.Handle(chWedge, func(_ int, words []uint64) {
+		for i := 0; i+1 < len(words); i += 2 {
+			if closes(words[i], words[i+1]) {
+				state.count++
+			}
+		}
+	})
+	pe.C.Barrier()
+
+	sw.phase(PhaseLocal)
+	// Wedge generation with per-destination mini-batches (visitors are two
+	// words; batching a few of them per record keeps envelope overhead sane,
+	// like HavoqGT's visitor queues do).
+	const batchPairs = 64
+	batches := make([][]uint64, pe.P)
+	flush := func(dst int) {
+		if len(batches[dst]) > 0 {
+			pe.Q.Send(chWedge, dst, batches[dst])
+			batches[dst] = batches[dst][:0]
+		}
+	}
+	for r := 0; r < lg.NLocal(); r++ {
+		av := ori.Out(int32(r))
+		for i, u := range av {
+			du := lg.Degree(lg.Row(u))
+			for _, w := range av[i+1:] {
+				a, b := u, w
+				if !graph.Less(du, u, lg.Degree(lg.Row(w)), w) {
+					a, b = w, u
+				}
+				if lg.IsLocal(a) {
+					if closes(a, b) {
+						state.count++
+					}
+					continue
+				}
+				dst := pt.Rank(a)
+				batches[dst] = append(batches[dst], a, b)
+				if len(batches[dst]) >= 2*batchPairs {
+					flush(dst)
+				}
+			}
+		}
+	}
+	for dst := range batches {
+		flush(dst)
+	}
+
+	sw.phase(PhaseGlobal)
+	pe.Q.Drain()
+	sw.stop()
+	state.finish(out)
+	return nil
+}

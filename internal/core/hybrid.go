@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// Hybrid (threads-per-rank) execution, §IV-D. The local phase is
+// parallelized edge-centrically: workers steal small row chunks (dynamic
+// chunking plays the role of TBB work stealing, so no cost-model
+// prepartitioning is needed, as Green et al. observed). Communication stays
+// funneled through the PE's main goroutine — MPI's funneled mode — which the
+// paper identifies as the hybrid variant's bottleneck.
+
+const hybridChunk = 128 // rows per stolen chunk
+
+// hybridCetricLocal runs CETRIC's communication-free local phase with
+// cfg.Threads workers and merges their private counters into state.
+func hybridCetricLocal(lg *graph.LocalGraph, ori *graph.LocalOriented, state *countState, cfg Config) {
+	rows := lg.Rows()
+	var next atomic.Int64
+	workers := make([]*countState, cfg.Threads)
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		ws := newCountState(lg, cfg)
+		workers[t] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(hybridChunk)) - hybridChunk
+				if lo >= rows {
+					return
+				}
+				hi := lo + hybridChunk
+				if hi > rows {
+					hi = rows
+				}
+				cetricLocalPhase(lg, ori, ws, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, ws := range workers {
+		state.merge(ws)
+	}
+}
+
+// hybridSend is a deferred neighborhood shipment produced by a worker and
+// executed by the funneled communication goroutine.
+type hybridSend struct {
+	dst     int
+	ch      int
+	payload []uint64
+}
+
+// hybridDitricLocal runs DITRIC's combined local/send phase with
+// cfg.Threads workers. Workers count local-local edges into private states
+// and forward remote shipments to the main goroutine, which owns the queue
+// (and therefore also executes all receive-side intersections — the
+// funneled-communication bottleneck of Fig. 8).
+func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOriented, state *countState, cfg Config) {
+	pt := lg.Part
+	nLocal := lg.NLocal()
+	var next atomic.Int64
+	workers := make([]*countState, cfg.Threads)
+	sends := make(chan hybridSend, 4*cfg.Threads)
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		ws := newCountState(lg, cfg)
+		workers[t] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(hybridChunk)) - hybridChunk
+				if lo >= nLocal {
+					return
+				}
+				hi := lo + hybridChunk
+				if hi > nLocal {
+					hi = nLocal
+				}
+				ditricLocalRows(pe, pt, lg, ori, ws, lo, hi, sends, cfg.NoSurrogate)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(sends)
+	}()
+	for s := range sends {
+		pe.Q.Send(s.ch, s.dst, s.payload)
+	}
+	for _, ws := range workers {
+		state.merge(ws)
+	}
+}
+
+// ditricLocalRows processes local rows [lo,hi): local-local wedges are
+// intersected in place, remote shipments go to sends (or directly to the
+// queue when sends is nil — the single-threaded path).
+func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
+	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool) {
+	for r := lo; r < hi; r++ {
+		v := lg.GID(int32(r))
+		av := ori.Out(int32(r))
+		lastRank := -1
+		for _, u := range av {
+			if lg.IsLocal(u) {
+				state.countEdge(v, u, av, ori.Out(lg.Row(u)))
+				continue
+			}
+			if len(av) < 2 {
+				continue // a single out-neighbor cannot close a triangle
+			}
+			if noSurrogate {
+				// Ablation: one per-edge record per cut edge (Algorithm 2
+				// without Arifuzzaman's dedup).
+				payload := make([]uint64, 0, 2+len(av))
+				payload = append(payload, v, u)
+				payload = append(payload, av...)
+				j := pt.Rank(u)
+				if sends != nil {
+					sends <- hybridSend{dst: j, payload: payload, ch: chNeighEdge}
+				} else {
+					pe.Q.Send(chNeighEdge, j, payload)
+				}
+				continue
+			}
+			// Surrogate dedup: av is ID-sorted and ranks own contiguous
+			// ranges, so equal destinations are adjacent.
+			if j := pt.Rank(u); j != lastRank {
+				payload := make([]uint64, 0, 1+len(av))
+				payload = append(payload, v)
+				payload = append(payload, av...)
+				if sends != nil {
+					sends <- hybridSend{dst: j, payload: payload, ch: chNeigh}
+				} else {
+					pe.Q.Send(chNeigh, j, payload)
+				}
+				lastRank = j
+			}
+		}
+	}
+}
+
+// merge folds a worker's private counters into s.
+func (s *countState) merge(w *countState) {
+	s.count += w.count
+	s.t1 += w.t1
+	s.t2 += w.t2
+	s.t3 += w.t3
+	if s.lcc {
+		for i, d := range w.deltaRows {
+			s.deltaRows[i] += d
+		}
+	}
+	s.triangles = append(s.triangles, w.triangles...)
+}
+
+// recvPool implements the paper's hybrid global phase: the communication
+// goroutine (MPI funneled mode) polls messages and turns received
+// neighborhoods into intersection tasks, which a pool of workers consumes
+// into private counters. The funneled dispatcher is the bottleneck the paper
+// measures in Fig. 8.
+type recvPool struct {
+	tasks   chan recvTask
+	wg      sync.WaitGroup
+	workers []*countState
+}
+
+type recvTask struct {
+	v    graph.Vertex
+	list []uint64
+}
+
+// newRecvPool starts threads workers that intersect shipped neighborhoods
+// against out() (the receiver-side A-lists: full for DITRIC, contracted for
+// CETRIC; resolved lazily because contraction happens after handler
+// registration). Task payload slices alias received frame memory, which is
+// read-only after dispatch, so no copies are needed.
+func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *graph.LocalOriented) *recvPool {
+	rp := &recvPool{tasks: make(chan recvTask, 8*threads)}
+	for t := 0; t < threads; t++ {
+		ws := newCountState(lg, cfg)
+		rp.workers = append(rp.workers, ws)
+		rp.wg.Add(1)
+		go func() {
+			defer rp.wg.Done()
+			for task := range rp.tasks {
+				o := out()
+				for _, u := range task.list {
+					if !lg.IsLocal(u) {
+						continue
+					}
+					ws.countEdge(task.v, u, task.list, o.Out(lg.Row(u)))
+				}
+			}
+		}()
+	}
+	return rp
+}
+
+// submit enqueues one received neighborhood (blocks when workers lag —
+// exactly the backpressure a funneled comm thread experiences).
+func (rp *recvPool) submit(v graph.Vertex, list []uint64) {
+	rp.tasks <- recvTask{v: v, list: list}
+}
+
+// drain closes the pool, waits for the workers, and merges their counters.
+func (rp *recvPool) drain(into *countState) {
+	close(rp.tasks)
+	rp.wg.Wait()
+	for _, ws := range rp.workers {
+		into.merge(ws)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestSeqCountClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"K4", gen.Complete(4), 4},
+		{"K5", gen.Complete(5), 10},
+		{"K10", gen.Complete(10), 120},
+		{"K25", gen.Complete(25), 2300},
+		{"K_3_4", gen.CompleteBipartite(3, 4), 0},
+		{"K_10_10", gen.CompleteBipartite(10, 10), 0},
+		{"C3", gen.Cycle(3), 1},
+		{"C4", gen.Cycle(4), 0},
+		{"C100", gen.Cycle(100), 0},
+		{"P10", gen.Path(10), 0},
+		{"Star20", gen.Star(20), 0},
+		{"Wheel3", gen.Wheel(3), 4}, // K4
+		{"Wheel5", gen.Wheel(5), 5},
+		{"Wheel50", gen.Wheel(50), 50},
+		{"Friendship7", gen.Friendship(7), 7},
+		{"Grid8x5", gen.Grid2D(8, 5), 0},
+		{"TriGrid6x4", gen.TriangularGrid(6, 4), 2 * 5 * 3},
+		{"Petersen", gen.Petersen(), 0},
+		{"CliqueChain4x6", gen.CliqueChain(4, 6), 4 * 20},
+		{"Empty", graph.FromEdges(0, nil), 0},
+		{"Singleton", graph.FromEdges(1, nil), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SeqCount(tc.g); got != tc.want {
+				t.Errorf("SeqCount = %d, want %d", got, tc.want)
+			}
+			if got := NaiveCount(tc.g); got != tc.want {
+				t.Errorf("NaiveCount = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSeqCountMatchesNaiveOnRandomGraphs(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := gen.GNM(60, 240, seed)
+		return SeqCount(g) == NaiveCount(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqDeltasSumsToThreeTimesCount(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 42} {
+		g := gen.RMAT(gen.DefaultRMAT(8, seed))
+		count, deltas := SeqDeltas(g)
+		if count != SeqCount(g) {
+			t.Fatalf("seed %d: SeqDeltas count %d != SeqCount %d", seed, count, SeqCount(g))
+		}
+		var sum uint64
+		for _, d := range deltas {
+			sum += d
+		}
+		if sum != 3*count {
+			t.Fatalf("seed %d: Σdeltas = %d, want 3*%d", seed, sum, count)
+		}
+	}
+}
+
+func TestSeqEnumerateEmitsEachTriangleOnce(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 9))
+	seen := make(map[[3]graph.Vertex]int)
+	SeqEnumerate(g, func(v, u, w graph.Vertex) {
+		seen[canonTriangle(v, u, w)]++
+	})
+	want := SeqCount(g)
+	if uint64(len(seen)) != want {
+		t.Fatalf("enumerated %d distinct triangles, want %d", len(seen), want)
+	}
+	for tri, n := range seen {
+		if n != 1 {
+			t.Fatalf("triangle %v emitted %d times", tri, n)
+		}
+		if !g.HasEdge(tri[0], tri[1]) || !g.HasEdge(tri[1], tri[2]) || !g.HasEdge(tri[0], tri[2]) {
+			t.Fatalf("enumerated non-triangle %v", tri)
+		}
+	}
+}
+
+func TestSeqLCC(t *testing.T) {
+	// Every vertex of a complete graph has LCC 1.
+	for _, lcc := range SeqLCC(gen.Complete(6)) {
+		if lcc != 1 {
+			t.Fatalf("K6 LCC = %v, want all 1", lcc)
+		}
+	}
+	// Friendship graph: hub sees k triangles among C(2k,2) pairs, leaves 1.
+	k := 5
+	lcc := SeqLCC(gen.Friendship(k))
+	hubWant := 2 * float64(k) / (float64(2*k) * float64(2*k-1))
+	if diff := lcc[0] - hubWant; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("friendship hub LCC = %v, want %v", lcc[0], hubWant)
+	}
+	for v := 1; v < 2*k+1; v++ {
+		if lcc[v] != 1 {
+			t.Fatalf("friendship leaf %d LCC = %v, want 1", v, lcc[v])
+		}
+	}
+	// Triangle-free graphs have all-zero LCC.
+	for _, l := range SeqLCC(gen.Petersen()) {
+		if l != 0 {
+			t.Fatal("Petersen should have zero LCC everywhere")
+		}
+	}
+}
+
+func TestGallopingIntersectAgreesWithMerge(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := gen.NewRNG(seed)
+		a := randomSorted(rng, 1+int(rng.Uint64n(200)), 1000)
+		b := randomSorted(rng, 1+int(rng.Uint64n(8)), 1000) // skewed: triggers galloping
+		return graph.CountIntersect(a, b) == graph.CountMerge(a, b) &&
+			graph.CountIntersect(b, a) == graph.CountMerge(a, b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomSorted(rng *gen.SplitMix64, n int, max uint64) []graph.Vertex {
+	set := make(map[uint64]struct{})
+	for len(set) < n {
+		set[rng.Uint64n(max)] = struct{}{}
+	}
+	out := make([]graph.Vertex, 0, n)
+	for v := range set {
+		out = append(out, v)
+	}
+	sortVertices(out)
+	return out
+}
+
+func sortVertices(vs []graph.Vertex) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}

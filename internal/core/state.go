@@ -1,0 +1,222 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// Queue channels used by the distributed algorithms.
+const (
+	chNeigh  = 0 // (v, A(v)) neighborhood shipments
+	chDelta  = 1 // (gid, Δ) ghost triangle-count aggregation (LCC)
+	chDegReq = 2 // ghost degree requests: [gid...]
+	chDegRep = 3 // ghost degree replies: [gid, deg, ...]
+	chWedge  = 4 // HavoqGT-style wedge-check visitors: [a, b, ...]
+	chAMQ    = 5 // (v, |A(v)|, bloom words) approximate shipments
+	chDeltaF = 6 // (gid, Float64bits(Δ̂)) approximate ghost Δ aggregation
+	// chNeighEdge carries per-edge records (v, u, A(v)...) used when the
+	// surrogate dedup is disabled: the receiver intersects only for the named
+	// u, exactly Algorithm 2's semantics (otherwise repeated shipments of the
+	// same neighborhood would double count).
+	chNeighEdge = 7
+)
+
+// countState accumulates one PE's triangles, per-row Δ counts and optional
+// triangle collection. Rows cover locals and ghosts, so every increment from
+// both the local and the receive side lands in deltaRows (see the type
+// analysis in DESIGN.md §5); ghost rows are shipped to their owners in the
+// postprocessing exchange.
+type countState struct {
+	lg         *graph.LocalGraph
+	lcc        bool
+	collect    bool
+	count      uint64
+	t1, t2, t3 uint64
+	deltaRows  []uint64
+	triangles  [][3]graph.Vertex
+}
+
+func newCountState(lg *graph.LocalGraph, cfg Config) *countState {
+	s := &countState{lg: lg, lcc: cfg.LCC, collect: cfg.Collect}
+	if s.lcc {
+		s.deltaRows = make([]uint64, lg.Rows())
+	}
+	return s
+}
+
+// add records one triangle (corners as global IDs, all must be rows).
+func (s *countState) add(v, u, w graph.Vertex) {
+	s.count++
+	if s.lcc {
+		s.deltaRows[s.lg.Row(v)]++
+		s.deltaRows[s.lg.Row(u)]++
+		s.deltaRows[s.lg.Row(w)]++
+	}
+	if s.collect {
+		s.triangles = append(s.triangles, canonTriangle(v, u, w))
+	}
+}
+
+// countEdge intersects av = A(v) with au = A(u) for the directed edge (v,u),
+// recording every triangle. Fast path without LCC/collection.
+func (s *countState) countEdge(v, u graph.Vertex, av, au []graph.Vertex) uint64 {
+	if !s.lcc && !s.collect {
+		c := graph.CountIntersect(av, au)
+		s.count += c
+		return c
+	}
+	var c uint64
+	graph.ForEachCommon(av, au, func(w graph.Vertex) {
+		s.add(v, u, w)
+		c++
+	})
+	return c
+}
+
+// handleDelta processes ghost Δ aggregation records [gid, Δ, gid, Δ, ...].
+func (s *countState) handleDelta(_ int, words []uint64) {
+	for i := 0; i+1 < len(words); i += 2 {
+		s.deltaRows[s.lg.Row(words[i])] += words[i+1]
+	}
+}
+
+// flushGhostDeltas ships accumulated ghost Δ values to their owners
+// (batched per destination) and merges replies; callers must Drain after.
+func (s *countState) flushGhostDeltas(pe *dist.PE) {
+	if !s.lcc {
+		return
+	}
+	lg := s.lg
+	batch := make(map[int][]uint64)
+	for i, gid := range lg.Ghosts() {
+		row := lg.NLocal() + i
+		if d := s.deltaRows[row]; d > 0 {
+			dst := lg.Part.Rank(gid)
+			batch[dst] = append(batch[dst], gid, d)
+		}
+	}
+	for dst, words := range batch {
+		pe.Q.Send(chDelta, dst, words)
+	}
+}
+
+// finish copies the per-PE result into out. Local Δ values (now complete
+// after the postprocess exchange) are exported keyed by global ID.
+func (s *countState) finish(out *peOutcome) {
+	out.count = s.count
+	out.typeCounts = [3]uint64{s.t1, s.t2, s.t3}
+	out.triangles = s.triangles
+	if s.lcc {
+		out.deltas = make(map[graph.Vertex]uint64, s.lg.NLocal())
+		for r := 0; r < s.lg.NLocal(); r++ {
+			out.deltas[s.lg.GID(int32(r))] = s.deltaRows[r]
+		}
+	}
+}
+
+// exchangeGhostDegrees implements exchange_ghost_degree (Algorithm 3 line 1)
+// either with the dense all-to-all the paper defaults to, or with the
+// asynchronous sparse all-to-all (NBX style: direct messages to actual
+// communication partners + termination detection).
+func exchangeGhostDegrees(pe *dist.PE, lg *graph.LocalGraph, sparse bool) {
+	if sparse {
+		exchangeGhostDegreesSparse(pe, lg)
+		return
+	}
+	p := pe.P
+	reqs := make([][]uint64, p)
+	for _, g := range lg.Ghosts() {
+		owner := lg.Part.Rank(g)
+		reqs[owner] = append(reqs[owner], g)
+	}
+	gotReqs := pe.C.DenseExchange(reqs)
+	replies := make([][]uint64, p)
+	for src, list := range gotReqs {
+		if src == pe.Rank || len(list) == 0 {
+			continue
+		}
+		rep := make([]uint64, len(list))
+		for k, gid := range list {
+			rep[k] = uint64(lg.Degree(lg.Row(gid)))
+		}
+		replies[src] = rep
+	}
+	gotReps := pe.C.DenseExchange(replies)
+	for owner, list := range gotReps {
+		for k, d := range list {
+			gid := reqs[owner][k]
+			row, _ := lg.GhostRow(gid)
+			lg.SetGhostDegree(row, int(d))
+		}
+	}
+}
+
+func exchangeGhostDegreesSparse(pe *dist.PE, lg *graph.LocalGraph) {
+	pe.Q.Handle(chDegReq, func(src int, words []uint64) {
+		rep := make([]uint64, 0, 2*len(words))
+		for _, gid := range words {
+			rep = append(rep, gid, uint64(lg.Degree(lg.Row(gid))))
+		}
+		pe.Q.Send(chDegRep, src, rep)
+	})
+	pe.Q.Handle(chDegRep, func(_ int, words []uint64) {
+		for i := 0; i+1 < len(words); i += 2 {
+			row, ok := lg.GhostRow(words[i])
+			if !ok {
+				panic("core: degree reply for unknown ghost")
+			}
+			lg.SetGhostDegree(row, int(words[i+1]))
+		}
+	})
+	reqs := make(map[int][]uint64)
+	for _, g := range lg.Ghosts() {
+		owner := lg.Part.Rank(g)
+		reqs[owner] = append(reqs[owner], g)
+	}
+	for owner, gids := range reqs {
+		pe.Q.Send(chDegReq, owner, gids)
+	}
+	pe.Q.Drain()
+}
+
+// mergeOutcomes folds per-PE outcomes into a Result.
+func mergeOutcomes(outcomes []*peOutcome, metrics []comm.Metrics, g *graph.Graph, cfg Config) *Result {
+	res := &Result{
+		PerPE:     metrics,
+		Agg:       comm.AggregateOf(metrics),
+		Phases:    make(map[string]time.Duration),
+		PhaseComm: make(map[string]comm.Aggregate),
+	}
+	phaseMetrics := make(map[string][]comm.Metrics)
+	for _, out := range outcomes {
+		res.Count += out.count
+		for i := 0; i < 3; i++ {
+			res.TypeCounts[i] += out.typeCounts[i]
+		}
+		res.Triangles = append(res.Triangles, out.triangles...)
+		for name, d := range out.phases {
+			if d > res.Phases[name] {
+				res.Phases[name] = d
+			}
+		}
+		for name, m := range out.phaseComm {
+			phaseMetrics[name] = append(phaseMetrics[name], m)
+		}
+	}
+	for name, ms := range phaseMetrics {
+		res.PhaseComm[name] = comm.AggregateOf(ms)
+	}
+	if cfg.LCC {
+		res.Deltas = make([]uint64, g.NumVertices())
+		for _, out := range outcomes {
+			for gid, d := range out.deltas {
+				res.Deltas[gid] = d
+			}
+		}
+		res.LCC = LCCFromDeltas(g, res.Deltas)
+	}
+	return res
+}

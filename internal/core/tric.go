@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// tricBody reimplements the TriC baseline (Ghosh & Halappanavar) from its
+// published description: no degree orientation (edges are oriented by vertex
+// ID only, so high-degree hubs keep large out-neighborhoods), and *static*
+// message aggregation — every shipment is buffered in full and exchanged in
+// one single irregular all-to-all. The static buffers make its peak memory
+// proportional to the total communication volume, which is superlinear in
+// the input; that is the paper's explanation for TriC's out-of-memory
+// crashes, and it shows up here as Metrics.PeakBuffered.
+func tricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
+	sw := newStopwatch(pe.C, out)
+	sw.phase(PhasePreprocess)
+
+	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	// No ghost degree exchange: ID orientation needs no remote information.
+	ori := graph.OrientLocalByID(lg)
+	state := newCountState(lg, cfg)
+
+	sw.phase(PhaseLocal)
+	// Count local wedges and build the complete static send buffers.
+	sendBufs := make([][]uint64, pe.P)
+	for r := 0; r < lg.NLocal(); r++ {
+		v := lg.GID(int32(r))
+		av := ori.Out(int32(r))
+		lastRank := -1
+		for _, u := range av {
+			if lg.IsLocal(u) {
+				state.countEdge(v, u, av, ori.Out(lg.Row(u)))
+				continue
+			}
+			if len(av) < 2 {
+				continue
+			}
+			if j := pt.Rank(u); j != lastRank {
+				sendBufs[j] = append(sendBufs[j], v, uint64(len(av)))
+				sendBufs[j] = append(sendBufs[j], av...)
+				lastRank = j
+			}
+		}
+	}
+	// Record the static buffer footprint (TriC's downfall).
+	var buffered int64
+	for _, b := range sendBufs {
+		buffered += int64(len(b))
+	}
+	if buffered > pe.C.M.PeakBuffered {
+		pe.C.M.PeakBuffered = buffered
+	}
+
+	sw.phase(PhaseGlobal)
+	received := pe.C.DenseExchange(sendBufs)
+	for src, words := range received {
+		if src == pe.Rank {
+			continue
+		}
+		for i := 0; i < len(words); {
+			v := words[i]
+			n := int(words[i+1])
+			list := words[i+2 : i+2+n]
+			i += 2 + n
+			for _, u := range list {
+				if !lg.IsLocal(u) {
+					continue
+				}
+				state.countEdge(v, u, list, ori.Out(lg.Row(u)))
+			}
+		}
+	}
+	sw.stop()
+	state.finish(out)
+	return nil
+}

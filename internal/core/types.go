@@ -1,0 +1,164 @@
+// Package core implements the paper's triangle counting algorithms: the
+// sequential EDGE ITERATOR base, the distributed DITRIC and CETRIC (with and
+// without grid-indirect communication), the competitor baselines TriC and a
+// HavoqGT-style vertex-centric counter, the unbuffered baseline of Fig. 2,
+// and the extensions of §IV-E (local clustering coefficients, triangle
+// enumeration, AMQ-approximate counting) plus the classic approximation
+// baselines DOULION and colorful sparsification.
+package core
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/transport"
+)
+
+// Algorithm names an exact distributed counting algorithm.
+type Algorithm string
+
+// The implemented algorithms. The "2" variants use grid-indirect delivery.
+const (
+	AlgoDiTric  Algorithm = "ditric"
+	AlgoDiTric2 Algorithm = "ditric2"
+	AlgoCetric  Algorithm = "cetric"
+	AlgoCetric2 Algorithm = "cetric2"
+	AlgoTriC    Algorithm = "tric"
+	AlgoHavoq   Algorithm = "havoq"
+	AlgoNoAgg   Algorithm = "noagg"
+)
+
+// Algorithms lists all distributed algorithms in the order used by the
+// paper's figures.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoDiTric, AlgoDiTric2, AlgoCetric, AlgoCetric2, AlgoHavoq, AlgoTriC}
+}
+
+// Phase names used in Result.Phases, matching Fig. 7's breakdown.
+const (
+	PhasePreprocess  = "preprocess"
+	PhaseLocal       = "local"
+	PhaseContraction = "contraction"
+	PhaseGlobal      = "global"
+	PhasePostprocess = "postprocess"
+)
+
+// Config controls a distributed run.
+type Config struct {
+	P         int  // number of PEs (required)
+	Threshold int  // aggregation threshold δ in words; ≤0 chooses O(|E_i|)
+	Indirect  bool // grid-based indirect delivery (the "2" variants)
+	Threads   int  // >1 enables the hybrid local/global phases (DITRIC/CETRIC)
+
+	// Partition overrides the default uniform 1D partition.
+	Partition *part.Partition
+	// SparseDegreeExchange uses the asynchronous sparse all-to-all for the
+	// ghost degree exchange instead of the dense exchange the paper defaults
+	// to in its evaluation.
+	SparseDegreeExchange bool
+	// NoSurrogate disables the surrogate dedup of Arifuzzaman et al., so a
+	// neighborhood is shipped once per *cut edge* instead of once per
+	// destination PE (an ablation of §IV-D "avoiding redundant messages").
+	NoSurrogate bool
+
+	// LCC additionally computes per-vertex triangle counts and local
+	// clustering coefficients (DITRIC/CETRIC only).
+	LCC bool
+	// Collect gathers every triangle (testing aid; memory O(#triangles)).
+	Collect bool
+
+	// Network overrides the in-process transport (e.g. loopback TCP).
+	Network transport.Network
+}
+
+// withDefaults fills derived defaults given the local input size estimate.
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+// Result reports one distributed run.
+type Result struct {
+	Count uint64 // number of triangles in the graph
+
+	// TypeCounts splits the count by triangle type (1: all three vertices on
+	// one PE, 2: two on one PE, 3: three PEs). Filled by CETRIC; DITRIC fills
+	// local (type 1+2 found locally) vs remote counts approximately and the
+	// baselines leave it zero.
+	TypeCounts [3]uint64
+
+	// Deltas holds per-vertex triangle counts Δ(v) (global indexing) when
+	// Config.LCC is set.
+	Deltas []uint64
+	// LCC holds 2Δ(v)/(d(v)(d(v)−1)) when Config.LCC is set (0 for d < 2).
+	LCC []float64
+
+	// Triangles holds every triangle {u≺v≺w by ID} when Config.Collect is
+	// set.
+	Triangles [][3]graph.Vertex
+
+	// PerPE holds each PE's total communication metrics; Agg the paper-style
+	// aggregation (max messages, bottleneck volume).
+	PerPE []comm.Metrics
+	Agg   comm.Aggregate
+
+	// Phases holds the maximum duration over PEs per phase; PhaseComm the
+	// aggregated communication per phase.
+	Phases    map[string]time.Duration
+	PhaseComm map[string]comm.Aggregate
+
+	Wall time.Duration
+}
+
+// peOutcome is what each PE's body produces for the driver to merge.
+type peOutcome struct {
+	count      uint64
+	typeCounts [3]uint64
+	deltas     map[graph.Vertex]uint64 // global ID -> Δ contribution (local rows only after postprocess)
+	triangles  [][3]graph.Vertex
+	phases     map[string]time.Duration
+	phaseComm  map[string]comm.Metrics
+}
+
+func newPEOutcome() *peOutcome {
+	return &peOutcome{
+		phases:    make(map[string]time.Duration),
+		phaseComm: make(map[string]comm.Metrics),
+	}
+}
+
+// stopwatch splits a PE's run into named phases, recording wall time and the
+// communication delta per phase.
+type stopwatch struct {
+	c   *comm.Comm
+	out *peOutcome
+	cur string
+	t0  time.Time
+	m0  comm.Metrics
+}
+
+func newStopwatch(c *comm.Comm, out *peOutcome) *stopwatch {
+	return &stopwatch{c: c, out: out}
+}
+
+// phase closes the current phase (if any) and starts the named one.
+func (s *stopwatch) phase(name string) {
+	now := time.Now()
+	if s.cur != "" {
+		s.out.phases[s.cur] += now.Sub(s.t0)
+		m := s.c.M.Sub(s.m0)
+		acc := s.out.phaseComm[s.cur]
+		acc.Add(m)
+		s.out.phaseComm[s.cur] = acc
+	}
+	s.cur = name
+	s.t0 = now
+	s.m0 = s.c.M
+}
+
+// stop closes the current phase.
+func (s *stopwatch) stop() { s.phase("") }

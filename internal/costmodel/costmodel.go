@@ -1,0 +1,64 @@
+// Package costmodel evaluates the paper's α+βℓ communication model over
+// measured per-PE traffic. The paper's machine (SuperMUC-NG) hides most
+// communication behind a 100 Gbit/s OmniPath fabric; re-evaluating the same
+// traffic under cloud- or WAN-like parameters shows the regimes where the
+// contraction (CETRIC) and indirection (the "2" variants) pay off — the
+// paper's own prediction for slower interconnects.
+package costmodel
+
+import (
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Profile is a network parameterization: Alpha is the per-message startup
+// time, Beta the per-machine-word transfer time (both in seconds).
+type Profile struct {
+	Name  string
+	Alpha float64
+	Beta  float64
+}
+
+// Predefined profiles. Beta is derived from 8-byte words on the respective
+// link bandwidth.
+var (
+	// Supercomputer: ~1µs MPI latency, 100 Gbit/s.
+	Supercomputer = Profile{Name: "supercomputer", Alpha: 1e-6, Beta: 8 * 8 / 100e9}
+	// Cloud: ~50µs kernel TCP latency, 10 Gbit/s.
+	Cloud = Profile{Name: "cloud", Alpha: 50e-6, Beta: 8 * 8 / 10e9}
+	// WAN: ~2ms RTT-ish latency, 1 Gbit/s.
+	WAN = Profile{Name: "wan", Alpha: 2e-3, Beta: 8 * 8 / 1e9}
+)
+
+// Profiles lists the built-in profiles.
+func Profiles() []Profile { return []Profile{Supercomputer, Cloud, WAN} }
+
+// Time returns the modeled communication time of one PE's traffic:
+// α·messages + β·words.
+func (p Profile) Time(m comm.Metrics) time.Duration {
+	s := p.Alpha*float64(m.SentFrames) + p.Beta*float64(m.SentWords)
+	return time.Duration(s * float64(time.Second))
+}
+
+// Bottleneck returns the maximum modeled communication time over all PEs —
+// the single-ported model's completion time proxy.
+func Bottleneck(per []comm.Metrics, p Profile) time.Duration {
+	var worst time.Duration
+	for _, m := range per {
+		if t := p.Time(m); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Total returns the summed modeled time (useful for energy-style accounting
+// rather than makespan).
+func Total(per []comm.Metrics, p Profile) time.Duration {
+	var sum time.Duration
+	for _, m := range per {
+		sum += p.Time(m)
+	}
+	return sum
+}

@@ -1,0 +1,42 @@
+package gen
+
+import "testing"
+
+func BenchmarkGNM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GNM(1<<12, 16<<12, uint64(i))
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(DefaultRMAT(12, uint64(i)))
+	}
+}
+
+func BenchmarkRGG2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RGG2D(1<<12, 16, uint64(i))
+	}
+}
+
+func BenchmarkRHG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RHG(RHGConfig{N: 1 << 12, AvgDegree: 32, Gamma: 2.8, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkWebGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		WebGraph(WebConfig{N: 1 << 12, HostSize: 32, IntraP: 0.4, LongFactor: 3, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkSplitMix64(b *testing.B) {
+	rng := NewRNG(1)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x += rng.Next()
+	}
+	_ = x
+}

@@ -1,0 +1,137 @@
+package gen
+
+import "repro/internal/graph"
+
+// Deterministic graphs with closed-form triangle counts, used by the test
+// suite to pin absolute results.
+
+// Complete returns K_n, which has C(n,3) triangles.
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: uint64(u), V: uint64(v)})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// CompleteBipartite returns K_{a,b}, which is triangle-free.
+func CompleteBipartite(a, b int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, graph.Edge{U: uint64(u), V: uint64(a + v)})
+		}
+	}
+	return graph.FromEdges(a+b, edges)
+}
+
+// Cycle returns the cycle C_n (one triangle iff n == 3).
+func Cycle(n int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		edges = append(edges, graph.Edge{U: uint64(u), V: uint64((u + 1) % n)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Path returns the path P_n, triangle-free.
+func Path(n int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u+1 < n; u++ {
+		edges = append(edges, graph.Edge{U: uint64(u), V: uint64(u + 1)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Star returns the star S_n (hub 0, n leaves), triangle-free.
+func Star(n int) *graph.Graph {
+	var edges []graph.Edge
+	for v := 1; v <= n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint64(v)})
+	}
+	return graph.FromEdges(n+1, edges)
+}
+
+// Wheel returns the wheel W_n: hub 0 plus a rim cycle of n vertices. For
+// n > 3 it has exactly n triangles; for n == 3 it is K_4 with 4 triangles.
+func Wheel(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint64(1 + i)})
+		edges = append(edges, graph.Edge{U: uint64(1 + i), V: uint64(1 + (i+1)%n)})
+	}
+	return graph.FromEdges(n+1, edges)
+}
+
+// Friendship returns the friendship (windmill) graph F_k: k triangles sharing
+// one hub vertex — exactly k triangles, and the hub's LCC is 1/(2k−1).
+func Friendship(k int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < k; i++ {
+		a := uint64(1 + 2*i)
+		b := uint64(2 + 2*i)
+		edges = append(edges, graph.Edge{U: 0, V: a}, graph.Edge{U: 0, V: b}, graph.Edge{U: a, V: b})
+	}
+	return graph.FromEdges(2*k+1, edges)
+}
+
+// Grid2D returns a w×h grid graph (triangle-free).
+func Grid2D(w, h int) *graph.Graph {
+	id := func(x, y int) uint64 { return uint64(y*w + x) }
+	var edges []graph.Edge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x, y+1)})
+			}
+		}
+	}
+	return graph.FromEdges(w*h, edges)
+}
+
+// TriangularGrid returns a w×h grid with one diagonal per cell, giving
+// exactly 2·(w−1)·(h−1) triangles.
+func TriangularGrid(w, h int) *graph.Graph {
+	g := Grid2D(w, h)
+	edges := g.Edges()
+	id := func(x, y int) uint64 { return uint64(y*w + x) }
+	for y := 0; y+1 < h; y++ {
+		for x := 0; x+1 < w; x++ {
+			edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y+1)})
+		}
+	}
+	return graph.FromEdges(w*h, edges)
+}
+
+// Petersen returns the Petersen graph (girth 5, hence triangle-free).
+func Petersen() *graph.Graph {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0}, // outer 5-cycle
+		{U: 5, V: 7}, {U: 7, V: 9}, {U: 9, V: 6}, {U: 6, V: 8}, {U: 8, V: 5}, // inner pentagram
+		{U: 0, V: 5}, {U: 1, V: 6}, {U: 2, V: 7}, {U: 3, V: 8}, {U: 4, V: 9}, // spokes
+	}
+	return graph.FromEdges(10, edges)
+}
+
+// CliqueChain returns k cliques of size s, consecutive cliques joined by a
+// single bridge edge: exactly k·C(s,3) triangles and high locality.
+func CliqueChain(k, s int) *graph.Graph {
+	var edges []graph.Edge
+	for c := 0; c < k; c++ {
+		base := c * s
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				edges = append(edges, graph.Edge{U: uint64(base + u), V: uint64(base + v)})
+			}
+		}
+		if c+1 < k {
+			edges = append(edges, graph.Edge{U: uint64(base + s - 1), V: uint64(base + s)})
+		}
+	}
+	return graph.FromEdges(k*s, edges)
+}

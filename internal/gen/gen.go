@@ -1,0 +1,34 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ByFamily builds a synthetic graph from one of the paper's weak-scaling
+// families by name: "gnm", "rmat", "rgg2d", "rhg". n is the number of
+// vertices; edgeFactor the target m/n ratio (the paper uses 16).
+func ByFamily(family string, n, edgeFactor int, seed uint64) (*graph.Graph, error) {
+	switch family {
+	case "gnm":
+		return GNM(n, edgeFactor*n, seed), nil
+	case "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		cfg := DefaultRMAT(scale, seed)
+		cfg.EdgeFactor = edgeFactor
+		return RMAT(cfg), nil
+	case "rgg2d":
+		return RGG2D(n, edgeFactor, seed), nil
+	case "rhg":
+		return RHG(RHGConfig{N: n, AvgDegree: 2 * float64(edgeFactor), Gamma: 2.8, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q (want gnm|rmat|rgg2d|rhg)", family)
+	}
+}
+
+// Families lists the weak-scaling generator families in the order of Fig. 5.
+func Families() []string { return []string{"rgg2d", "rhg", "gnm", "rmat"} }

@@ -1,0 +1,52 @@
+package gen
+
+import "repro/internal/graph"
+
+// GNM samples a graph uniformly from the G(n,m) Erdős–Rényi model: m
+// distinct undirected edges chosen uniformly at random, no self-loops. These
+// graphs have no locality at all, which is the regime where the paper's
+// contraction (CETRIC) does not pay off.
+func GNM(n, m int, seed uint64) *graph.Graph {
+	if n < 2 {
+		return graph.FromEdges(n, nil)
+	}
+	maxEdges := uint64(n) * uint64(n-1) / 2
+	if uint64(m) > maxEdges {
+		m = int(maxEdges)
+	}
+	rng := NewRNG(seed)
+	seen := make(map[uint64]struct{}, m)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := rng.Uint64n(uint64(n))
+		v := rng.Uint64n(uint64(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := u*uint64(n) + v
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// GNP samples from the G(n,p) model using geometric skips, useful for dense
+// small test instances.
+func GNP(n int, p float64, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, graph.Edge{U: uint64(u), V: uint64(v)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}

@@ -1,0 +1,84 @@
+package gen
+
+import "repro/internal/graph"
+
+// Graph 500 R-MAT probabilities (a,b,c,d), the defaults the paper uses.
+const (
+	RMATDefaultA = 0.57
+	RMATDefaultB = 0.19
+	RMATDefaultC = 0.19
+	RMATDefaultD = 0.05
+)
+
+// RMATConfig parameterizes the recursive matrix model.
+type RMATConfig struct {
+	Scale      int     // n = 2^Scale vertices
+	EdgeFactor int     // edges generated = EdgeFactor * n (before dedup)
+	A, B, C, D float64 // quadrant probabilities, summing to 1
+	Seed       uint64
+	Scramble   bool // permute vertex IDs to break the generator's ID locality
+}
+
+// DefaultRMAT returns the Graph 500 configuration: 16 edges per vertex,
+// standard probabilities, scrambled IDs.
+func DefaultRMAT(scale int, seed uint64) RMATConfig {
+	return RMATConfig{
+		Scale: scale, EdgeFactor: 16,
+		A: RMATDefaultA, B: RMATDefaultB, C: RMATDefaultC, D: RMATDefaultD,
+		Seed: seed, Scramble: true,
+	}
+}
+
+// RMAT generates an R-MAT graph: each edge recursively descends the
+// adjacency-matrix quadrants with the configured probabilities. The result
+// has a heavily skewed (power-law-like) degree distribution; duplicate edges
+// and self-loops are removed, matching the paper's input cleaning.
+func RMAT(cfg RMATConfig) *graph.Graph {
+	n := 1 << cfg.Scale
+	m := cfg.EdgeFactor * n
+	rng := NewRNG(cfg.Seed)
+	edges := make([]graph.Edge, 0, m)
+	ab := cfg.A + cfg.B
+	abc := cfg.A + cfg.B + cfg.C
+	for i := 0; i < m; i++ {
+		var u, v uint64
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// upper-left: no bits set
+			case r < ab:
+				v |= 1 << uint(bit)
+			case r < abc:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u == v {
+			continue
+		}
+		if cfg.Scramble {
+			u = scramble(u, uint64(n), cfg.Seed)
+			v = scramble(v, uint64(n), cfg.Seed)
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// scramble applies a seeded pseudorandom permutation of [0,n) for n a power
+// of two. Each round composes an affine map (bijective mod 2^k for odd
+// multipliers) with an xorshift (bijective on k-bit words), so the whole map
+// is a permutation.
+func scramble(x, n, seed uint64) uint64 {
+	mask := n - 1
+	for round := uint64(0); round < 3; round++ {
+		a := Hash64(seed, 2*round)%n | 1
+		b := Hash64(seed, 2*round+1) & mask
+		x = (a*x + b) & mask
+		x ^= x >> 3
+	}
+	return x & mask
+}

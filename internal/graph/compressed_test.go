@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 80, 400)
+		c := Compress(g)
+		if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			want := g.Neighbors(Vertex(v))
+			got := c.Neighbors(Vertex(v))
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !slices.Equal(got, want) {
+				return false
+			}
+			if c.Degree(Vertex(v)) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedSmallerThanRaw(t *testing.T) {
+	// With sorted gap encoding, dense-ish graphs with ID locality compress
+	// far below 8 bytes/entry.
+	g := randomGraph(7, 2000, 30000)
+	c := Compress(g)
+	raw := 8 * 2 * g.NumEdges()
+	if c.SizeBytes() >= raw/2 {
+		t.Fatalf("compressed %d bytes, raw %d bytes: expected >2x compression", c.SizeBytes(), raw)
+	}
+}
+
+func TestCompressedIntersection(t *testing.T) {
+	g := randomGraph(13, 120, 900)
+	c := Compress(g)
+	for v := 0; v < 40; v++ {
+		for u := v + 1; u < 40; u++ {
+			want := CountIntersect(g.Neighbors(Vertex(v)), g.Neighbors(Vertex(u)))
+			got := c.CountIntersectCompressed(Vertex(v), Vertex(u))
+			if got != want {
+				t.Fatalf("intersect(%d,%d) = %d, want %d", v, u, got, want)
+			}
+		}
+	}
+}
+
+func TestCompressedTriangleCount(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 9} {
+		g := randomGraph(seed, 150, 1200)
+		co := CompressOriented(g)
+		// Reference: plain oriented count.
+		o := Orient(g)
+		var want uint64
+		for v := 0; v < g.NumVertices(); v++ {
+			nv := o.Out(Vertex(v))
+			for _, u := range nv {
+				want += CountIntersect(nv, o.Out(u))
+			}
+		}
+		if got := co.CountTriangles(); got != want {
+			t.Fatalf("seed %d: compressed count %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestVarintBoundaryGaps(t *testing.T) {
+	// Exercise multi-byte varints: neighbors around the 1- and 2-byte
+	// encoding boundaries and a wide gap.
+	n := 20000
+	edges := []Edge{{0, 1}, {0, 127}, {0, 128}, {0, 129}, {0, 16383}, {0, 16385}, {5, 19999}}
+	g := FromEdges(n, edges)
+	c := Compress(g)
+	if !slices.Equal(c.Neighbors(0), g.Neighbors(0)) {
+		t.Fatalf("boundary gaps decoded wrong: %v", c.Neighbors(0))
+	}
+	if !slices.Equal(c.Neighbors(5), g.Neighbors(5)) {
+		t.Fatal("wide gap decoded wrong")
+	}
+}
+
+func TestVarintEncoding(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 16383, 16384, 1 << 35, 1<<63 - 1}
+	for _, x := range cases {
+		buf := appendUvarint(nil, x)
+		nc := neighborCursor{buf: buf}
+		got, ok := nc.next()
+		if !ok || got != x {
+			t.Fatalf("varint round trip failed for %d: got %d", x, got)
+		}
+	}
+}

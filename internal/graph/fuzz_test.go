@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the parsing paths. Under plain `go test` they run
+// their seed corpus; `go test -fuzz=FuzzX` explores further.
+
+func FuzzReadEdgeListText(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% comment\n3 4 extra\n")
+	f.Add("")
+	f.Add("999999999999 1\n")
+	f.Add("a b\n")
+	f.Add("5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Cap vertex IDs so malicious inputs cannot allocate unboundedly.
+		for _, line := range strings.Split(input, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) >= 1 && len(fields[0]) > 6 {
+				t.Skip("IDs too large for the fuzz harness")
+			}
+			if len(fields) >= 2 && len(fields[1]) > 6 {
+				t.Skip("IDs too large for the fuzz harness")
+			}
+		}
+		g, err := ReadEdgeListText(strings.NewReader(input))
+		if err != nil {
+			return // rejecting malformed input is fine; crashing is not
+		}
+		// Whatever parsed must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteEdgeListText(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeListText(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed m: %d vs %d", g2.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+func FuzzBinaryGraphFormat(f *testing.F) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Reject absurd headers cheaply to keep the harness fast.
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.NumVertices() > 1<<20 {
+			t.Skip() // header said huge n; FromEdges already validated edges
+		}
+		// A successfully parsed graph must be internally consistent.
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(Vertex(v)) {
+				if int(u) >= g.NumVertices() {
+					t.Fatalf("neighbor %d out of range", u)
+				}
+			}
+		}
+	})
+}
+
+func FuzzVarint(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(127))
+	f.Add(uint64(128))
+	f.Add(uint64(1) << 63)
+	f.Fuzz(func(t *testing.T, x uint64) {
+		buf := appendUvarint(nil, x)
+		nc := neighborCursor{buf: buf}
+		got, ok := nc.next()
+		if !ok || got != x {
+			t.Fatalf("varint round trip: %d -> %d (%v)", x, got, ok)
+		}
+		if _, ok := nc.next(); ok {
+			t.Fatal("cursor should be exhausted")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package graph provides undirected graphs in adjacency-array (CSR) form,
+// the degree-based total order used by COMPACT-FORWARD style triangle
+// counting, and the per-PE local graph view (locals, ghosts, interface
+// vertices, cut edges) used by the distributed algorithms.
+//
+// Vertices are dense integers 0..n-1. Neighborhoods are stored sorted by
+// vertex ID so that set intersections can use a merge, exactly as the paper
+// assumes.
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Vertex is a global vertex identifier. It is an alias (not a defined type)
+// so that neighborhood slices can be sent as message payloads of machine
+// words without copying.
+type Vertex = uint64
+
+// Edge is an undirected edge. Canonical form has U < V.
+type Edge struct {
+	U, V Vertex
+}
+
+// Canon returns e with endpoints ordered so that U < V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Graph is an immutable undirected graph in compressed adjacency-array form.
+// Every edge {u,v} appears in both Neighbors(u) and Neighbors(v), and each
+// neighborhood is sorted ascending by vertex ID.
+type Graph struct {
+	off []int64
+	adj []Vertex
+}
+
+// NumVertices returns n.
+func (g *Graph) NumVertices() int { return len(g.off) - 1 }
+
+// NumEdges returns the number of undirected edges m.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v Vertex) int { return int(g.off[v+1] - g.off[v]) }
+
+// Neighbors returns the sorted neighborhood of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v Vertex) []Vertex { return g.adj[g.off[v]:g.off[v+1]] }
+
+// HasEdge reports whether {u,v} is an edge, by binary search in the smaller
+// neighborhood.
+func (g *Graph) HasEdge(u, v Vertex) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	_, ok := slices.BinarySearch(g.Neighbors(u), v)
+	return ok
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v Vertex)) {
+	for u := Vertex(0); u < Vertex(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// Edges returns all undirected edges in canonical (u < v) order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.NumEdges())
+	g.ForEachEdge(func(u, v Vertex) { es = append(es, Edge{u, v}) })
+	return es
+}
+
+// FromEdges builds an undirected graph on n vertices from an edge list.
+// Self-loops are dropped and duplicate edges are merged; the input slice is
+// not modified. Edges referencing vertices >= n cause a panic, since that is
+// always a programming error in this codebase.
+func FromEdges(n int, edges []Edge) *Graph {
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		if e.U >= Vertex(n) || e.V >= Vertex(n) {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n))
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	off := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		off[i] = off[i-1] + deg[i]
+	}
+	adj := make([]Vertex, off[n])
+	pos := make([]int64, n)
+	copy(pos, off[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adj[pos[e.U]] = e.V
+		pos[e.U]++
+		adj[pos[e.V]] = e.U
+		pos[e.V]++
+	}
+	// Sort each neighborhood and remove duplicate edges in place.
+	w := int64(0)
+	newOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		row := adj[off[v]:off[v+1]]
+		slices.Sort(row)
+		start := w
+		var last Vertex
+		first := true
+		for _, x := range row {
+			if first || x != last {
+				adj[w] = x
+				w++
+				last, first = x, false
+			}
+		}
+		newOff[v] = start
+	}
+	newOff[n] = w
+	return &Graph{off: newOff, adj: adj[:w]}
+}
+
+// FromSortedAdjacency builds a graph directly from prebuilt CSR arrays.
+// The caller guarantees rows are sorted, deduplicated, and symmetric.
+func FromSortedAdjacency(off []int64, adj []Vertex) *Graph {
+	return &Graph{off: off, adj: adj}
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(Vertex(v)); d > best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,106 @@
+package graph
+
+// Set intersection of sorted vertex slices. This is the inner loop of every
+// EDGE ITERATOR variant, implemented like the merge phase of merge sort, plus
+// a galloping variant for very skewed operand sizes (the approach GPU codes
+// favor; exposed here so benchmarks can compare).
+
+// CountIntersect returns |a ∩ b| for ascending-sorted slices.
+func CountIntersect(a, b []Vertex) uint64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Gallop when one side is much smaller; merge otherwise.
+	if len(a)*32 < len(b) || len(b)*32 < len(a) {
+		return countGallop(a, b)
+	}
+	var cnt uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x < y {
+			i++
+		} else if y < x {
+			j++
+		} else {
+			cnt++
+			i++
+			j++
+		}
+	}
+	return cnt
+}
+
+// ForEachCommon calls fn for every element of a ∩ b, in ascending order.
+func ForEachCommon(a, b []Vertex, fn func(Vertex)) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x < y {
+			i++
+		} else if y < x {
+			j++
+		} else {
+			fn(x)
+			i++
+			j++
+		}
+	}
+}
+
+// countGallop intersects by exponential + binary search of each element of
+// the smaller slice in the larger one.
+func countGallop(a, b []Vertex) uint64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var cnt uint64
+	lo := 0
+	for _, x := range a {
+		// Exponential search for x in b[lo:].
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			lo = hi
+			hi += step
+			step *= 2
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search in b[lo:hi].
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(b) && b[lo] == x {
+			cnt++
+			lo++
+		}
+	}
+	return cnt
+}
+
+// CountMerge is the plain two-pointer merge intersection, exported for
+// benchmarking against the adaptive CountIntersect.
+func CountMerge(a, b []Vertex) uint64 {
+	var cnt uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x < y {
+			i++
+		} else if y < x {
+			j++
+		} else {
+			cnt++
+			i++
+			j++
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/part"
+)
+
+// LocalGraph is one PE's view of a 1D-partitioned graph (Fig. 1 of the
+// paper): the PE's own vertices with complete neighborhoods, plus ghost
+// vertices — remote endpoints of cut edges — whose visible neighborhoods
+// contain only local vertices ("rewired incoming cut edges").
+//
+// Rows are indexed by a compact local index: rows 0..NLocal-1 are the local
+// vertices in ID order (global ID = First + row), rows NLocal.. are ghosts
+// sorted ascending by global ID. Adjacency entries store global IDs, sorted
+// ascending, so neighborhoods can be merged and shipped as message payloads
+// without translation.
+type LocalGraph struct {
+	Part  *part.Partition
+	Rank  int
+	First Vertex // first local global ID
+	Last  Vertex // one past the last local global ID
+
+	nLocal   int
+	ghostID  []Vertex         // row NLocal+i has global ID ghostID[i]
+	ghostRow map[Vertex]int32 // global ID -> row index for ghosts
+	off      []int64          // CSR offsets, len = rows+1
+	adj      []Vertex         // global IDs, each row sorted ascending
+	deg      []int            // global degree per row; ghost entries -1 until set
+}
+
+// BuildLocal constructs the local view for one PE from the edges incident to
+// at least one of its vertices. Edges with neither endpoint local are
+// rejected; self loops are dropped; duplicates are merged.
+func BuildLocal(pt *part.Partition, rank int, edges []Edge) *LocalGraph {
+	lo, hi := pt.Range(rank)
+	l := &LocalGraph{
+		Part:     pt,
+		Rank:     rank,
+		First:    lo,
+		Last:     hi,
+		nLocal:   int(hi - lo),
+		ghostRow: make(map[Vertex]int32),
+	}
+	// Discover ghosts.
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		uLoc, vLoc := l.isLocal(e.U), l.isLocal(e.V)
+		if !uLoc && !vLoc {
+			panic(fmt.Sprintf("graph: edge (%d,%d) has no endpoint on PE %d [%d,%d)", e.U, e.V, rank, lo, hi))
+		}
+		if !uLoc {
+			l.ghostRow[e.U] = 0
+		}
+		if !vLoc {
+			l.ghostRow[e.V] = 0
+		}
+	}
+	l.ghostID = make([]Vertex, 0, len(l.ghostRow))
+	for g := range l.ghostRow {
+		l.ghostID = append(l.ghostID, g)
+	}
+	slices.Sort(l.ghostID)
+	for i, g := range l.ghostID {
+		l.ghostRow[g] = int32(l.nLocal + i)
+	}
+
+	rows := l.nLocal + len(l.ghostID)
+	cnt := make([]int64, rows+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		cnt[l.Row(e.U)+1]++
+		cnt[l.Row(e.V)+1]++
+	}
+	off := make([]int64, rows+1)
+	for i := 1; i <= rows; i++ {
+		off[i] = off[i-1] + cnt[i]
+	}
+	adj := make([]Vertex, off[rows])
+	pos := make([]int64, rows)
+	copy(pos, off[:rows])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		ru, rv := l.Row(e.U), l.Row(e.V)
+		adj[pos[ru]] = e.V
+		pos[ru]++
+		adj[pos[rv]] = e.U
+		pos[rv]++
+	}
+	// Sort + dedup rows.
+	w := int64(0)
+	newOff := make([]int64, rows+1)
+	for r := 0; r < rows; r++ {
+		row := adj[off[r]:off[r+1]]
+		slices.Sort(row)
+		start := w
+		var last Vertex
+		first := true
+		for _, x := range row {
+			if first || x != last {
+				adj[w] = x
+				w++
+				last, first = x, false
+			}
+		}
+		newOff[r] = start
+	}
+	newOff[rows] = w
+	l.off, l.adj = newOff, adj[:w]
+
+	// Local degrees are exact (1D partition: every incident edge is visible);
+	// ghost degrees are unknown until the degree exchange.
+	l.deg = make([]int, rows)
+	for r := 0; r < l.nLocal; r++ {
+		l.deg[r] = int(l.off[r+1] - l.off[r])
+	}
+	for r := l.nLocal; r < rows; r++ {
+		l.deg[r] = -1
+	}
+	return l
+}
+
+func (l *LocalGraph) isLocal(v Vertex) bool { return v >= l.First && v < l.Last }
+
+// IsLocal reports whether v is owned by this PE.
+func (l *LocalGraph) IsLocal(v Vertex) bool { return l.isLocal(v) }
+
+// NLocal returns the number of local vertices.
+func (l *LocalGraph) NLocal() int { return l.nLocal }
+
+// NGhost returns the number of ghost vertices.
+func (l *LocalGraph) NGhost() int { return len(l.ghostID) }
+
+// Rows returns the total number of rows (locals + ghosts).
+func (l *LocalGraph) Rows() int { return l.nLocal + len(l.ghostID) }
+
+// Row maps a global ID (local vertex or known ghost) to its row index.
+func (l *LocalGraph) Row(v Vertex) int32 {
+	if l.isLocal(v) {
+		return int32(v - l.First)
+	}
+	r, ok := l.ghostRow[v]
+	if !ok {
+		panic(fmt.Sprintf("graph: vertex %d is neither local nor ghost on PE %d", v, l.Rank))
+	}
+	return r
+}
+
+// GhostRow returns the row of a ghost vertex and whether it is known.
+func (l *LocalGraph) GhostRow(v Vertex) (int32, bool) {
+	r, ok := l.ghostRow[v]
+	return r, ok
+}
+
+// GID returns the global ID of a row.
+func (l *LocalGraph) GID(row int32) Vertex {
+	if int(row) < l.nLocal {
+		return l.First + Vertex(row)
+	}
+	return l.ghostID[int(row)-l.nLocal]
+}
+
+// Ghosts returns the global IDs of all ghost vertices, ascending.
+func (l *LocalGraph) Ghosts() []Vertex { return l.ghostID }
+
+// RowNeighbors returns the visible neighborhood of a row (global IDs,
+// ascending). For ghost rows this contains only local vertices.
+func (l *LocalGraph) RowNeighbors(row int32) []Vertex { return l.adj[l.off[row]:l.off[row+1]] }
+
+// Degree returns the global degree of a row; -1 for ghosts before the
+// ghost-degree exchange has run.
+func (l *LocalGraph) Degree(row int32) int { return l.deg[row] }
+
+// SetGhostDegree records the exchanged global degree of a ghost row.
+func (l *LocalGraph) SetGhostDegree(row int32, d int) { l.deg[row] = d }
+
+// LocalEdges returns the number of visible adjacency entries |E_i| (each
+// local-local edge counted twice, cut edges once per side plus once in the
+// ghost row). This is the quantity the buffering threshold δ = O(|E_i|) is
+// tied to.
+func (l *LocalGraph) LocalEdges() int { return len(l.adj) }
+
+// CutEdges returns the number of cut edges incident to this PE.
+func (l *LocalGraph) CutEdges() int {
+	cut := 0
+	for r := 0; r < l.nLocal; r++ {
+		for _, u := range l.RowNeighbors(int32(r)) {
+			if !l.isLocal(u) {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// InterfaceVertices returns the number of local vertices adjacent to at
+// least one ghost.
+func (l *LocalGraph) InterfaceVertices() int {
+	cnt := 0
+	for r := 0; r < l.nLocal; r++ {
+		for _, u := range l.RowNeighbors(int32(r)) {
+			if !l.isLocal(u) {
+				cnt++
+				break
+			}
+		}
+	}
+	return cnt
+}
+
+// ScatterEdges splits a global edge list into one slice per PE, giving each
+// edge to the owners of both endpoints (once if they coincide). It mirrors
+// how a distributed loader or communication-free generator would materialize
+// per-PE inputs.
+func ScatterEdges(pt *part.Partition, edges []Edge) [][]Edge {
+	out := make([][]Edge, pt.P())
+	for _, e := range edges {
+		ru, rv := pt.Rank(e.U), pt.Rank(e.V)
+		out[ru] = append(out[ru], e)
+		if rv != ru {
+			out[rv] = append(out[rv], e)
+		}
+	}
+	return out
+}

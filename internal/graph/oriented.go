@@ -1,0 +1,159 @@
+package graph
+
+import "fmt"
+
+// LocalOriented holds the degree-oriented out-neighborhoods A(v) of a PE's
+// expanded local graph (Algorithm 3, lines 3–4):
+//
+//	local v: A(v) = {x ∈ N(v) | v ≺ x}
+//	ghost v: A(v) = {x ∈ N(v) | v ≺ x ∧ x local}   (only local edges visible)
+//
+// Entries are global IDs sorted ascending. Building it requires ghost
+// degrees, i.e. exchange_ghost_degree must have run.
+type LocalOriented struct {
+	L   *LocalGraph
+	off []int64
+	out []Vertex
+}
+
+// OrientLocal computes the A-lists for every row (locals and ghosts).
+func OrientLocal(l *LocalGraph) *LocalOriented {
+	rows := l.Rows()
+	off := make([]int64, rows+1)
+	for r := 0; r < rows; r++ {
+		if l.Degree(int32(r)) < 0 {
+			panic(fmt.Sprintf("graph: ghost degree of row %d unknown on PE %d; run the degree exchange first", r, l.Rank))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		v := l.GID(int32(r))
+		dv := l.Degree(int32(r))
+		cnt := int64(0)
+		for _, x := range l.RowNeighbors(int32(r)) {
+			if Less(dv, v, l.Degree(l.Row(x)), x) {
+				cnt++
+			}
+		}
+		off[r+1] = off[r] + cnt
+	}
+	out := make([]Vertex, off[rows])
+	for r := 0; r < rows; r++ {
+		v := l.GID(int32(r))
+		dv := l.Degree(int32(r))
+		w := off[r]
+		for _, x := range l.RowNeighbors(int32(r)) {
+			if Less(dv, v, l.Degree(l.Row(x)), x) {
+				out[w] = x
+				w++
+			}
+		}
+	}
+	return &LocalOriented{L: l, off: off, out: out}
+}
+
+// Out returns A(row), global IDs sorted ascending. Aliases internal storage.
+func (o *LocalOriented) Out(row int32) []Vertex { return o.out[o.off[row]:o.off[row+1]] }
+
+// OutDegree returns |A(row)|.
+func (o *LocalOriented) OutDegree(row int32) int { return int(o.off[row+1] - o.off[row]) }
+
+// TotalOut returns the total number of A-list entries across all rows.
+func (o *LocalOriented) TotalOut() int { return len(o.out) }
+
+// Contract applies the contraction step (Algorithm 3, line 8): for every
+// local vertex, keep only the out-neighbors that are ghosts (cut out-edges);
+// ghost rows become empty. The result is the PE's part of the cut graph ∂G,
+// restricted to outgoing edges.
+func (o *LocalOriented) Contract() *LocalOriented {
+	l := o.L
+	rows := l.Rows()
+	off := make([]int64, rows+1)
+	for r := 0; r < l.NLocal(); r++ {
+		cnt := int64(0)
+		for _, x := range o.Out(int32(r)) {
+			if !l.IsLocal(x) {
+				cnt++
+			}
+		}
+		off[r+1] = off[r] + cnt
+	}
+	for r := l.NLocal(); r < rows; r++ {
+		off[r+1] = off[r]
+	}
+	out := make([]Vertex, off[rows])
+	for r := 0; r < l.NLocal(); r++ {
+		w := off[r]
+		for _, x := range o.Out(int32(r)) {
+			if !l.IsLocal(x) {
+				out[w] = x
+				w++
+			}
+		}
+	}
+	return &LocalOriented{L: l, off: off, out: out}
+}
+
+// OrientLocalOnly computes A-lists for local rows only, leaving ghost rows
+// empty. DITRIC uses this: it never expands ghost neighborhoods, which is
+// exactly the preprocessing work it saves compared to CETRIC.
+func OrientLocalOnly(l *LocalGraph) *LocalOriented {
+	rows := l.Rows()
+	off := make([]int64, rows+1)
+	for r := 0; r < l.NLocal(); r++ {
+		v := l.GID(int32(r))
+		dv := l.Degree(int32(r))
+		cnt := int64(0)
+		for _, x := range l.RowNeighbors(int32(r)) {
+			if Less(dv, v, l.Degree(l.Row(x)), x) {
+				cnt++
+			}
+		}
+		off[r+1] = off[r] + cnt
+	}
+	for r := l.NLocal(); r < rows; r++ {
+		off[r+1] = off[r]
+	}
+	out := make([]Vertex, off[rows])
+	for r := 0; r < l.NLocal(); r++ {
+		v := l.GID(int32(r))
+		dv := l.Degree(int32(r))
+		w := off[r]
+		for _, x := range l.RowNeighbors(int32(r)) {
+			if Less(dv, v, l.Degree(l.Row(x)), x) {
+				out[w] = x
+				w++
+			}
+		}
+	}
+	return &LocalOriented{L: l, off: off, out: out}
+}
+
+// OrientLocalByID orients the expanded local graph by vertex ID only (no
+// degrees), used by the TriC baseline which skips the degree orientation.
+// It needs no ghost-degree exchange.
+func OrientLocalByID(l *LocalGraph) *LocalOriented {
+	rows := l.Rows()
+	off := make([]int64, rows+1)
+	for r := 0; r < rows; r++ {
+		v := l.GID(int32(r))
+		cnt := int64(0)
+		for _, x := range l.RowNeighbors(int32(r)) {
+			if x > v {
+				cnt++
+			}
+		}
+		off[r+1] = off[r] + cnt
+	}
+	out := make([]Vertex, off[rows])
+	for r := 0; r < rows; r++ {
+		v := l.GID(int32(r))
+		w := off[r]
+		for _, x := range l.RowNeighbors(int32(r)) {
+			if x > v {
+				out[w] = x
+				w++
+			}
+		}
+	}
+	return &LocalOriented{L: l, off: off, out: out}
+}

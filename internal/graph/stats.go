@@ -1,0 +1,58 @@
+package graph
+
+// Stats summarizes an instance the way Table I of the paper does.
+type Stats struct {
+	N         int // vertices
+	M         int // undirected edges
+	MaxDegree int
+	Wedges    uint64 // Σ_v C(d⁺(v),2) on the degree-oriented graph
+	AvgDegree float64
+}
+
+// ComputeStats gathers instance statistics (triangles are counted by the
+// algorithms in internal/core, not here, to avoid an import cycle).
+func ComputeStats(g *Graph) Stats {
+	o := Orient(g)
+	s := Stats{
+		N:         g.NumVertices(),
+		M:         g.NumEdges(),
+		MaxDegree: g.MaxDegree(),
+		Wedges:    o.Wedges(),
+	}
+	if s.N > 0 {
+		s.AvgDegree = 2 * float64(s.M) / float64(s.N)
+	}
+	return s
+}
+
+// DegreeHistogram returns counts of vertices per degree, up to the maximum
+// degree.
+func DegreeHistogram(g *Graph) []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(Vertex(v))]++
+	}
+	return h
+}
+
+// RemoveIsolated relabels the graph without degree-0 vertices, as the paper
+// does for its inputs ("we remove vertices with no neighbors"). It returns
+// the new graph and the mapping old ID -> new ID (or -1 if removed).
+func RemoveIsolated(g *Graph) (*Graph, []int64) {
+	n := g.NumVertices()
+	remap := make([]int64, n)
+	next := int64(0)
+	for v := 0; v < n; v++ {
+		if g.Degree(Vertex(v)) > 0 {
+			remap[v] = next
+			next++
+		} else {
+			remap[v] = -1
+		}
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	g.ForEachEdge(func(u, v Vertex) {
+		edges = append(edges, Edge{Vertex(remap[u]), Vertex(remap[v])})
+	})
+	return FromEdges(int(next), edges), remap
+}

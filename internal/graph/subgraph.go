@@ -1,0 +1,48 @@
+package graph
+
+import "repro/internal/part"
+
+// Induced subgraphs and the cut graph ∂G from the paper's preliminaries.
+
+// InducedSubgraph returns G(V′) relabeled to 0..|V′|−1 (in ascending order
+// of the selected IDs) plus the ID mapping old→new (−1 if dropped).
+func InducedSubgraph(g *Graph, vertices []Vertex) (*Graph, []int64) {
+	remap := make([]int64, g.NumVertices())
+	for i := range remap {
+		remap[i] = -1
+	}
+	sorted := append([]Vertex(nil), vertices...)
+	// Insertion sort: selections are small in practice and may be unsorted.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	next := int64(0)
+	for _, v := range sorted {
+		if remap[v] == -1 {
+			remap[v] = next
+			next++
+		}
+	}
+	var edges []Edge
+	g.ForEachEdge(func(u, v Vertex) {
+		if remap[u] >= 0 && remap[v] >= 0 {
+			edges = append(edges, Edge{Vertex(remap[u]), Vertex(remap[v])})
+		}
+	})
+	return FromEdges(int(next), edges), remap
+}
+
+// CutGraph returns ∂G: the graph on the same vertex set containing exactly
+// the cut edges of the given 1D partition. By Lemma 1 of the paper, the
+// triangles of ∂G are exactly the type-3 triangles of G.
+func CutGraph(g *Graph, pt *part.Partition) *Graph {
+	var edges []Edge
+	g.ForEachEdge(func(u, v Vertex) {
+		if pt.Rank(u) != pt.Rank(v) {
+			edges = append(edges, Edge{u, v})
+		}
+	})
+	return FromEdges(g.NumVertices(), edges)
+}

@@ -1,0 +1,124 @@
+// Package part implements the 1D vertex partitioning the paper assumes: each
+// PE owns a contiguous range of vertex IDs, ranges are ordered by rank, and
+// every vertex belongs to exactly one PE. It also provides the degree-based
+// cost-function partitioners evaluated by Arifuzzaman et al. for load
+// balancing.
+package part
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition describes a 1D partition of vertices 0..n-1 over p PEs into
+// contiguous, globally ordered ranges. starts has length p+1 with
+// starts[0] == 0 and starts[p] == n; PE i owns [starts[i], starts[i+1]).
+type Partition struct {
+	starts []uint64
+}
+
+// New builds a partition from range boundaries. It validates monotonicity.
+func New(starts []uint64) (*Partition, error) {
+	if len(starts) < 2 {
+		return nil, fmt.Errorf("part: need at least one range, got %d boundaries", len(starts))
+	}
+	if starts[0] != 0 {
+		return nil, fmt.Errorf("part: first boundary must be 0, got %d", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			return nil, fmt.Errorf("part: boundaries not monotone at %d: %d < %d", i, starts[i], starts[i-1])
+		}
+	}
+	return &Partition{starts: starts}, nil
+}
+
+// Uniform splits n vertices over p PEs as evenly as possible (the first
+// n mod p PEs get one extra vertex).
+func Uniform(n uint64, p int) *Partition {
+	starts := make([]uint64, p+1)
+	q, r := n/uint64(p), n%uint64(p)
+	for i := 0; i < p; i++ {
+		starts[i+1] = starts[i] + q
+		if uint64(i) < r {
+			starts[i+1]++
+		}
+	}
+	return &Partition{starts: starts}
+}
+
+// CostFunc estimates the work charged to a vertex of degree d. The classic
+// choices from Arifuzzaman et al. are provided as predefined functions.
+type CostFunc func(d int) float64
+
+// Predefined cost functions for ByCost.
+var (
+	// CostDegree charges d, balancing edges.
+	CostDegree CostFunc = func(d int) float64 { return float64(d) }
+	// CostDegreeSq charges d², a proxy for intersection work at hubs.
+	CostDegreeSq CostFunc = func(d int) float64 { return float64(d) * float64(d) }
+	// CostWedges charges C(d,2), the open wedge count of the vertex.
+	CostWedges CostFunc = func(d int) float64 { return float64(d) * float64(d-1) / 2 }
+	// CostUnit charges 1, reducing ByCost to Uniform.
+	CostUnit CostFunc = func(d int) float64 { return 1 }
+)
+
+// ByCost partitions by the prefix-sum method: vertex v goes to PE
+// floor(p * prefix(v) / total) where prefix is the running cost sum. Ranges
+// stay contiguous and ordered, which the distributed algorithms require.
+func ByCost(degrees []int, p int, cost CostFunc) *Partition {
+	n := len(degrees)
+	starts := make([]uint64, p+1)
+	total := 0.0
+	for _, d := range degrees {
+		total += cost(d)
+	}
+	if total == 0 {
+		return Uniform(uint64(n), p)
+	}
+	prefix := 0.0
+	next := 1 // next boundary to place
+	for v := 0; v < n; v++ {
+		prefix += cost(degrees[v])
+		for next < p && prefix >= total*float64(next)/float64(p) {
+			starts[next] = uint64(v + 1)
+			next++
+		}
+	}
+	for ; next <= p; next++ {
+		starts[next] = uint64(n)
+	}
+	// Boundaries can only move forward, keep monotone.
+	for i := 1; i <= p; i++ {
+		if starts[i] < starts[i-1] {
+			starts[i] = starts[i-1]
+		}
+	}
+	starts[p] = uint64(n)
+	return &Partition{starts: starts}
+}
+
+// P returns the number of PEs.
+func (pt *Partition) P() int { return len(pt.starts) - 1 }
+
+// N returns the total number of vertices.
+func (pt *Partition) N() uint64 { return pt.starts[len(pt.starts)-1] }
+
+// Range returns the vertex range [lo, hi) owned by PE i.
+func (pt *Partition) Range(i int) (lo, hi uint64) { return pt.starts[i], pt.starts[i+1] }
+
+// Size returns the number of vertices owned by PE i.
+func (pt *Partition) Size(i int) int { return int(pt.starts[i+1] - pt.starts[i]) }
+
+// Rank returns the PE owning vertex v. Because ranges are contiguous and
+// ordered, this is a binary search over the boundaries.
+func (pt *Partition) Rank(v uint64) int {
+	// sort.Search finds the first i with starts[i+1] > v.
+	i := sort.Search(pt.P(), func(i int) bool { return pt.starts[i+1] > v })
+	return i
+}
+
+// Owns reports whether PE i owns vertex v.
+func (pt *Partition) Owns(i int, v uint64) bool {
+	return v >= pt.starts[i] && v < pt.starts[i+1]
+}

@@ -1,0 +1,168 @@
+package part
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformCoversDisjointly(t *testing.T) {
+	check := func(nRaw, pRaw uint16) bool {
+		n := uint64(nRaw)
+		p := int(pRaw%64) + 1
+		pt := Uniform(n, p)
+		if pt.P() != p || pt.N() != n {
+			return false
+		}
+		var total uint64
+		prevHi := uint64(0)
+		for i := 0; i < p; i++ {
+			lo, hi := pt.Range(i)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			total += hi - lo
+			prevHi = hi
+		}
+		return total == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformBalance(t *testing.T) {
+	pt := Uniform(10, 3)
+	sizes := []int{pt.Size(0), pt.Size(1), pt.Size(2)}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v, want [4 3 3]", sizes)
+	}
+}
+
+func TestRankConsistentWithRanges(t *testing.T) {
+	check := func(nRaw uint16, pRaw uint8) bool {
+		n := uint64(nRaw) + 1
+		p := int(pRaw%32) + 1
+		pt := Uniform(n, p)
+		for v := uint64(0); v < n; v++ {
+			r := pt.Rank(v)
+			if !pt.Owns(r, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreRanksThanVertices(t *testing.T) {
+	pt := Uniform(3, 8)
+	total := 0
+	for i := 0; i < 8; i++ {
+		total += pt.Size(i)
+	}
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	for v := uint64(0); v < 3; v++ {
+		if !pt.Owns(pt.Rank(v), v) {
+			t.Fatalf("rank lookup broken for %d", v)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]uint64{0, 5, 3}); err == nil {
+		t.Fatal("want error for non-monotone boundaries")
+	}
+	if _, err := New([]uint64{1, 5}); err == nil {
+		t.Fatal("want error for nonzero first boundary")
+	}
+	if _, err := New([]uint64{0}); err == nil {
+		t.Fatal("want error for single boundary")
+	}
+	pt, err := New([]uint64{0, 2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Size(1) != 0 {
+		t.Fatal("empty range mishandled")
+	}
+	if pt.Rank(2) != 2 {
+		t.Fatalf("vertex 2 should skip the empty PE, got %d", pt.Rank(2))
+	}
+}
+
+func TestByCostBalancesSkewedDegrees(t *testing.T) {
+	// One hub with huge cost, many unit vertices: with CostDegree the hub's
+	// PE should receive few other vertices.
+	degrees := make([]int, 101)
+	degrees[0] = 1000
+	for i := 1; i <= 100; i++ {
+		degrees[i] = 1
+	}
+	pt := ByCost(degrees, 4, CostDegree)
+	if pt.Size(0) > 20 {
+		t.Fatalf("hub PE got %d vertices, want few", pt.Size(0))
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += pt.Size(i)
+	}
+	if total != 101 {
+		t.Fatalf("total %d, want 101", total)
+	}
+}
+
+func TestByCostUniformDegrees(t *testing.T) {
+	degrees := make([]int, 100)
+	for i := range degrees {
+		degrees[i] = 5
+	}
+	pt := ByCost(degrees, 4, CostDegree)
+	for i := 0; i < 4; i++ {
+		if pt.Size(i) != 25 {
+			t.Fatalf("size(%d) = %d, want 25", i, pt.Size(i))
+		}
+	}
+}
+
+func TestByCostZeroTotal(t *testing.T) {
+	degrees := make([]int, 10)
+	pt := ByCost(degrees, 3, CostDegree)
+	if pt.N() != 10 || pt.P() != 3 {
+		t.Fatal("zero-cost fallback broken")
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	if CostDegree(4) != 4 || CostDegreeSq(4) != 16 || CostWedges(4) != 6 || CostUnit(4) != 1 {
+		t.Fatal("cost function values wrong")
+	}
+}
+
+func TestByCostMonotoneBoundaries(t *testing.T) {
+	check := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		degrees := make([]int, 200)
+		s := seed
+		for i := range degrees {
+			s = s*6364136223846793005 + 1442695040888963407
+			degrees[i] = int(s % 50)
+		}
+		pt := ByCost(degrees, p, CostWedges)
+		prev := uint64(0)
+		for i := 0; i < p; i++ {
+			lo, hi := pt.Range(i)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == 200
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

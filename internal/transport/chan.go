@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ChanNetwork is the in-process network: p endpoints sharing unbounded
+// per-receiver inboxes. Sends never block (buffered asynchronous delivery),
+// receives are non-blocking polls — the same contract the paper's message
+// queue assumes from MPI nonblocking point-to-point operations.
+type ChanNetwork struct {
+	eps []*chanEndpoint
+}
+
+// NewChanNetwork creates an in-process network of size p.
+func NewChanNetwork(p int) *ChanNetwork {
+	n := &ChanNetwork{eps: make([]*chanEndpoint, p)}
+	for i := range n.eps {
+		n.eps[i] = &chanEndpoint{rank: i, net: n}
+	}
+	return n
+}
+
+// Endpoint returns the endpoint of the given rank.
+func (n *ChanNetwork) Endpoint(rank int) (Endpoint, error) {
+	if rank < 0 || rank >= len(n.eps) {
+		return nil, fmt.Errorf("transport: rank %d out of range [0,%d)", rank, len(n.eps))
+	}
+	return n.eps[rank], nil
+}
+
+// Close releases all endpoints.
+func (n *ChanNetwork) Close() error {
+	for _, e := range n.eps {
+		e.clear()
+	}
+	return nil
+}
+
+type chanEndpoint struct {
+	rank int
+	net  *ChanNetwork
+
+	mu     sync.Mutex
+	queue  []Frame
+	head   int
+	closed bool
+}
+
+func (e *chanEndpoint) Rank() int { return e.rank }
+func (e *chanEndpoint) Size() int { return len(e.net.eps) }
+
+func (e *chanEndpoint) Send(dst int, words []uint64) error {
+	if dst < 0 || dst >= len(e.net.eps) {
+		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", dst, len(e.net.eps))
+	}
+	return e.net.eps[dst].push(Frame{Src: e.rank, Words: words})
+}
+
+func (e *chanEndpoint) push(f Frame) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("transport: endpoint %d closed", e.rank)
+	}
+	e.queue = append(e.queue, f)
+	return nil
+}
+
+func (e *chanEndpoint) Recv() (Frame, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.head >= len(e.queue) {
+		if e.head > 0 {
+			e.queue = e.queue[:0]
+			e.head = 0
+		}
+		return Frame{}, false
+	}
+	f := e.queue[e.head]
+	e.queue[e.head] = Frame{} // allow GC of delivered words
+	e.head++
+	// Compact occasionally so memory stays proportional to the backlog.
+	if e.head > 1024 && e.head*2 > len(e.queue) {
+		n := copy(e.queue, e.queue[e.head:])
+		e.queue = e.queue[:n]
+		e.head = 0
+	}
+	return f, true
+}
+
+func (e *chanEndpoint) clear() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queue, e.head, e.closed = nil, 0, true
+}
+
+func (e *chanEndpoint) Close() error {
+	e.clear()
+	return nil
+}

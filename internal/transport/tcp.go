@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPEndpoint attaches one PE to a cluster over TCP. Every endpoint listens
+// on its own address and lazily dials peers on first send. Wire format per
+// connection: an 8-byte handshake carrying the dialer's rank, then frames of
+// [8-byte word count][count × 8-byte little-endian words].
+//
+// Received frames land in the same unbounded inbox structure the in-process
+// transport uses, so everything above the transport behaves identically.
+type TCPEndpoint struct {
+	rank  int
+	addrs []string
+	ln    net.Listener
+
+	inMu   sync.Mutex
+	queue  []Frame
+	head   int
+	closed bool
+
+	outMu sync.Mutex
+	conns map[int]*tcpConn
+
+	accMu    sync.Mutex
+	accepted []net.Conn
+
+	wg      sync.WaitGroup
+	dialTO  time.Duration
+	retryIn time.Duration
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// TCPOptions tunes connection establishment.
+type TCPOptions struct {
+	DialTimeout   time.Duration // total time to keep retrying a peer dial
+	RetryInterval time.Duration
+}
+
+// ListenTCP starts the endpoint for rank over the given peer address list
+// (addrs[i] is the listen address of rank i). It returns once the local
+// listener is ready, so starting all ranks concurrently is safe.
+func ListenTCP(rank int, addrs []string, opt TCPOptions) (*TCPEndpoint, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", rank, len(addrs))
+	}
+	if opt.DialTimeout == 0 {
+		opt.DialTimeout = 30 * time.Second
+	}
+	if opt.RetryInterval == 0 {
+		opt.RetryInterval = 20 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
+	}
+	e := &TCPEndpoint{
+		rank: rank, addrs: addrs, ln: ln,
+		conns:  make(map[int]*tcpConn),
+		dialTO: opt.DialTimeout, retryIn: opt.RetryInterval,
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the actual listen address (useful with ":0" addresses).
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.accMu.Lock()
+		e.accepted = append(e.accepted, c)
+		e.accMu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer c.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return
+	}
+	src := int(binary.LittleEndian.Uint64(hdr[:]))
+	buf := make([]byte, 0)
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint64(hdr[:])
+		if n > 1<<30 {
+			return // corrupt length; drop the connection
+		}
+		if uint64(cap(buf)) < 8*n {
+			buf = make([]byte, 8*n)
+		}
+		buf = buf[:8*n]
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		}
+		e.inMu.Lock()
+		if e.closed {
+			e.inMu.Unlock()
+			return
+		}
+		e.queue = append(e.queue, Frame{Src: src, Words: words})
+		e.inMu.Unlock()
+	}
+}
+
+// Rank returns this PE's rank.
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+// Size returns the number of PEs.
+func (e *TCPEndpoint) Size() int { return len(e.addrs) }
+
+// Send serializes words to dst, dialing the peer on first use. Sending to
+// self is delivered locally without touching the network.
+func (e *TCPEndpoint) Send(dst int, words []uint64) error {
+	if dst == e.rank {
+		e.inMu.Lock()
+		defer e.inMu.Unlock()
+		if e.closed {
+			return errors.New("transport: endpoint closed")
+		}
+		e.queue = append(e.queue, Frame{Src: e.rank, Words: words})
+		return nil
+	}
+	tc, err := e.conn(dst)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+8*len(words))
+	binary.LittleEndian.PutUint64(buf, uint64(len(words)))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.c.Write(buf); err != nil {
+		return fmt.Errorf("transport: send to %d: %w", dst, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) conn(dst int) (*tcpConn, error) {
+	e.outMu.Lock()
+	defer e.outMu.Unlock()
+	if tc, ok := e.conns[dst]; ok {
+		return tc, nil
+	}
+	deadline := time.Now().Add(e.dialTO)
+	var c net.Conn
+	var err error
+	for {
+		c, err = net.DialTimeout("tcp", e.addrs[dst], e.retryIn*10)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", dst, e.addrs[dst], err)
+		}
+		time.Sleep(e.retryIn)
+	}
+	var hs [8]byte
+	binary.LittleEndian.PutUint64(hs[:], uint64(e.rank))
+	if _, err := c.Write(hs[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("transport: handshake to %d: %w", dst, err)
+	}
+	tc := &tcpConn{c: c}
+	e.conns[dst] = tc
+	return tc, nil
+}
+
+// Recv returns the next pending frame without blocking.
+func (e *TCPEndpoint) Recv() (Frame, bool) {
+	e.inMu.Lock()
+	defer e.inMu.Unlock()
+	if e.head >= len(e.queue) {
+		if e.head > 0 {
+			e.queue = e.queue[:0]
+			e.head = 0
+		}
+		return Frame{}, false
+	}
+	f := e.queue[e.head]
+	e.queue[e.head] = Frame{}
+	e.head++
+	if e.head > 1024 && e.head*2 > len(e.queue) {
+		n := copy(e.queue, e.queue[e.head:])
+		e.queue = e.queue[:n]
+		e.head = 0
+	}
+	return f, true
+}
+
+// Close shuts down the listener and all connections.
+func (e *TCPEndpoint) Close() error {
+	e.inMu.Lock()
+	e.closed = true
+	e.inMu.Unlock()
+	err := e.ln.Close()
+	e.outMu.Lock()
+	for _, tc := range e.conns {
+		tc.c.Close()
+	}
+	e.outMu.Unlock()
+	e.accMu.Lock()
+	for _, c := range e.accepted {
+		c.Close()
+	}
+	e.accMu.Unlock()
+	e.wg.Wait()
+	return err
+}
+
+// TCPNetwork implements Network by spinning up all endpoints in one process
+// on loopback — used by tests and the tcpcluster example to exercise the
+// real wire path without multiple processes.
+type TCPNetwork struct {
+	eps []*TCPEndpoint
+}
+
+// NewLoopbackTCPNetwork creates p endpoints on 127.0.0.1 ephemeral ports.
+func NewLoopbackTCPNetwork(p int) (*TCPNetwork, error) {
+	// First pass: bind listeners on port 0 to learn addresses.
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	net_ := &TCPNetwork{eps: make([]*TCPEndpoint, p)}
+	for i := 0; i < p; i++ {
+		e := &TCPEndpoint{
+			rank: i, addrs: addrs, ln: lns[i],
+			conns:  make(map[int]*tcpConn),
+			dialTO: 30 * time.Second, retryIn: 20 * time.Millisecond,
+		}
+		e.wg.Add(1)
+		go e.acceptLoop()
+		net_.eps[i] = e
+	}
+	return net_, nil
+}
+
+// Endpoint returns the endpoint for rank.
+func (n *TCPNetwork) Endpoint(rank int) (Endpoint, error) {
+	if rank < 0 || rank >= len(n.eps) {
+		return nil, fmt.Errorf("transport: rank %d out of range", rank)
+	}
+	return n.eps[rank], nil
+}
+
+// Close closes every endpoint.
+func (n *TCPNetwork) Close() error {
+	var first error
+	for _, e := range n.eps {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

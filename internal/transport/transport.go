@@ -1,0 +1,43 @@
+// Package transport provides point-to-point message delivery between PEs.
+// It replaces MPI's transport role: the algorithms above it only assume
+// reliable, non-overtaking-free (unordered across sources), asynchronous
+// frame delivery.
+//
+// Two implementations are provided behind one interface: an in-process
+// network connecting goroutine PEs (the default for experiments, exact
+// communication metering, zero serialization) and a TCP network (stdlib net)
+// for genuine multi-process clusters.
+//
+// Frames are slices of machine words ([]uint64) because the paper's cost
+// model and all its volume measurements are in machine words. Send transfers
+// ownership of the slice to the transport; the caller must not reuse it.
+package transport
+
+// Frame is one delivered message.
+type Frame struct {
+	Src   int
+	Words []uint64
+}
+
+// Endpoint is one PE's attachment to the network.
+type Endpoint interface {
+	// Rank returns this PE's rank in 0..Size()-1.
+	Rank() int
+	// Size returns the number of PEs.
+	Size() int
+	// Send queues words for delivery to dst. It does not block on the
+	// receiver (asynchronous send with unbounded buffering, like a buffered
+	// MPI_Isend). Ownership of words passes to the transport.
+	Send(dst int, words []uint64) error
+	// Recv returns the next pending frame without blocking; ok is false if
+	// none is pending.
+	Recv() (f Frame, ok bool)
+	// Close releases resources. Frames already queued may be lost.
+	Close() error
+}
+
+// Network creates the endpoints of a cluster.
+type Network interface {
+	Endpoint(rank int) (Endpoint, error)
+	Close() error
+}

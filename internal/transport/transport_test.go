@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testNetworkDelivery(t *testing.T, mk func(p int) (Network, func())) {
+	t.Helper()
+	const p = 4
+	net, cleanup := mk(p)
+	defer cleanup()
+
+	eps := make([]Endpoint, p)
+	for i := 0; i < p; i++ {
+		ep, err := net.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		if ep.Rank() != i || ep.Size() != p {
+			t.Fatalf("endpoint identity wrong: %d/%d", ep.Rank(), ep.Size())
+		}
+	}
+	// Every PE sends a tagged frame to every other PE.
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s == d {
+				continue
+			}
+			if err := eps[s].Send(d, []uint64{uint64(s), uint64(d), 12345}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Each PE must receive exactly p-1 frames with correct content.
+	for d := 0; d < p; d++ {
+		got := make(map[uint64]bool)
+		deadline := time.Now().Add(5 * time.Second)
+		for len(got) < p-1 {
+			f, ok := eps[d].Recv()
+			if !ok {
+				if time.Now().After(deadline) {
+					t.Fatalf("PE %d: timeout, got %d frames", d, len(got))
+				}
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if len(f.Words) != 3 || f.Words[1] != uint64(d) || f.Words[2] != 12345 {
+				t.Fatalf("PE %d: bad frame %v", d, f.Words)
+			}
+			if f.Src != int(f.Words[0]) {
+				t.Fatalf("PE %d: src %d does not match payload %d", d, f.Src, f.Words[0])
+			}
+			if got[f.Words[0]] {
+				t.Fatalf("PE %d: duplicate frame from %d", d, f.Src)
+			}
+			got[f.Words[0]] = true
+		}
+	}
+}
+
+func TestChanNetworkDelivery(t *testing.T) {
+	testNetworkDelivery(t, func(p int) (Network, func()) {
+		n := NewChanNetwork(p)
+		return n, func() { n.Close() }
+	})
+}
+
+func TestTCPNetworkDelivery(t *testing.T) {
+	testNetworkDelivery(t, func(p int) (Network, func()) {
+		n, err := NewLoopbackTCPNetwork(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, func() { n.Close() }
+	})
+}
+
+func TestChanNetworkFIFOPerPair(t *testing.T) {
+	n := NewChanNetwork(2)
+	defer n.Close()
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	for i := 0; i < 100; i++ {
+		if err := a.Send(1, []uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		f, ok := b.Recv()
+		if !ok {
+			t.Fatal("frame missing")
+		}
+		if f.Words[0] != uint64(i) {
+			t.Fatalf("order violated: got %d at position %d", f.Words[0], i)
+		}
+	}
+}
+
+func TestTCPFIFOPerPair(t *testing.T) {
+	n, err := NewLoopbackTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send(1, []uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < count; {
+		f, ok := b.Recv()
+		if !ok {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout at %d", i)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if f.Words[0] != uint64(i) {
+			t.Fatalf("order violated: got %d at %d", f.Words[0], i)
+		}
+		i++
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	n, err := NewLoopbackTCPNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ep, _ := n.Endpoint(0)
+	if err := ep.Send(0, []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := ep.Recv()
+	if !ok || f.Words[0] != 9 || f.Src != 0 {
+		t.Fatalf("self send broken: %v %v", f, ok)
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	n, err := NewLoopbackTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	big := make([]uint64, 1<<17) // 1 MiB
+	for i := range big {
+		big[i] = uint64(i) * 2654435761
+	}
+	if err := a.Send(1, big); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		f, ok := b.Recv()
+		if ok {
+			if len(f.Words) != len(big) {
+				t.Fatalf("length %d, want %d", len(f.Words), len(big))
+			}
+			for i := range big {
+				if f.Words[i] != big[i] {
+					t.Fatalf("corruption at word %d", i)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestChanSendToInvalidRank(t *testing.T) {
+	n := NewChanNetwork(2)
+	defer n.Close()
+	ep, _ := n.Endpoint(0)
+	if err := ep.Send(5, []uint64{1}); err == nil {
+		t.Fatal("want error for invalid destination")
+	}
+	if _, err := n.Endpoint(9); err == nil {
+		t.Fatal("want error for invalid endpoint rank")
+	}
+}
+
+func TestChanConcurrentSenders(t *testing.T) {
+	const p = 8
+	const per = 1000
+	n := NewChanNetwork(p)
+	defer n.Close()
+	dstEp, _ := n.Endpoint(0)
+	var wg sync.WaitGroup
+	for s := 1; s < p; s++ {
+		ep, _ := n.Endpoint(s)
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ep.Send(0, []uint64{1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+	got := 0
+	for {
+		_, ok := dstEp.Recv()
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != (p-1)*per {
+		t.Fatalf("received %d frames, want %d", got, (p-1)*per)
+	}
+}
+
+func TestClosedEndpointRejectsSend(t *testing.T) {
+	n := NewChanNetwork(2)
+	ep0, _ := n.Endpoint(0)
+	ep1, _ := n.Endpoint(1)
+	if err := ep1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Send(1, []uint64{1}); err == nil {
+		t.Fatal("send to closed endpoint should fail")
+	}
+}

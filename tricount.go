@@ -1,0 +1,201 @@
+// Package tricount is a from-scratch Go reproduction of
+//
+//	Sanders, Uhl: "Engineering a Distributed-Memory Triangle Counting
+//	Algorithm", IPDPS 2023 (arXiv:2302.11443).
+//
+// It counts the triangles of huge undirected graphs — and, optionally, the
+// triangles incident to every vertex (local clustering coefficients) — on a
+// cluster of processing elements with 1D-partitioned graph data. The two
+// main algorithms are:
+//
+//   - DITRIC: distributed EDGE ITERATOR with degree orientation, dynamic
+//     message aggregation with linear memory (an asynchronous sparse
+//     all-to-all), and optional grid-based indirect routing (DITRIC2).
+//   - CETRIC: a contraction-based two-phase variant that finds every
+//     triangle with at most one remote corner locally and communicates only
+//     the cut graph (CETRIC2 with indirection).
+//
+// The package also ships the baselines the paper compares against (TriC,
+// a HavoqGT-style vertex-centric counter, an unbuffered edge iterator), the
+// approximate extensions (Bloom-filter neighborhoods, DOULION, colorful
+// sparsification), KAGEN-style graph generators, and an α+β network cost
+// model. PEs run as goroutines over an in-process transport by default; a
+// TCP transport (see internal/transport) runs real multi-process clusters.
+//
+// Quick start:
+//
+//	g := tricount.GenerateRGG2D(1<<14, 16, 42)
+//	res, err := tricount.Count(g, tricount.AlgoCetric, tricount.Options{PEs: 8})
+//	fmt.Println(res.Count)
+package tricount
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// Graph is an undirected graph in adjacency-array form.
+type Graph = graph.Graph
+
+// Vertex is a global vertex identifier.
+type Vertex = graph.Vertex
+
+// Algorithm selects a distributed counting algorithm.
+type Algorithm = core.Algorithm
+
+// The available algorithms. The "2" variants route messages indirectly over
+// a logical 2D PE grid.
+const (
+	AlgoDiTric  = core.AlgoDiTric
+	AlgoDiTric2 = core.AlgoDiTric2
+	AlgoCetric  = core.AlgoCetric
+	AlgoCetric2 = core.AlgoCetric2
+	AlgoTriC    = core.AlgoTriC  // baseline: static buffers, no orientation
+	AlgoHavoq   = core.AlgoHavoq // baseline: vertex-centric wedge visitors
+	AlgoNoAgg   = core.AlgoNoAgg // baseline: no message aggregation (Fig. 2)
+)
+
+// Options configures a run.
+type Options struct {
+	// PEs is the number of processing elements (required, ≥ 1).
+	PEs int
+	// Threshold is the aggregation threshold δ in machine words; ≤ 0 picks
+	// O(|E_i|), the paper's linear-memory setting.
+	Threshold int
+	// Indirect forces grid-based indirect delivery even for the non-"2"
+	// algorithm names.
+	Indirect bool
+	// Threads enables the hybrid mode with that many worker goroutines per
+	// PE for the local phase (DITRIC/CETRIC).
+	Threads int
+	// LCC additionally computes per-vertex triangle counts Δ(v) and local
+	// clustering coefficients (DITRIC/CETRIC only).
+	LCC bool
+	// Partition overrides the default uniform 1D partition.
+	Partition *part.Partition
+	// SparseDegreeExchange uses the asynchronous sparse all-to-all for the
+	// ghost-degree exchange.
+	SparseDegreeExchange bool
+}
+
+// Result is re-exported from the core engine; see core.Result for the full
+// field documentation (count, per-type counts, Δ/LCC vectors, per-PE
+// communication metrics, per-phase times).
+type Result = core.Result
+
+func (o Options) toConfig() core.Config {
+	return core.Config{
+		P:                    o.PEs,
+		Threshold:            o.Threshold,
+		Indirect:             o.Indirect,
+		Threads:              o.Threads,
+		LCC:                  o.LCC,
+		Partition:            o.Partition,
+		SparseDegreeExchange: o.SparseDegreeExchange,
+	}
+}
+
+// Count runs algo on g with opt and returns the merged result.
+func Count(g *Graph, algo Algorithm, opt Options) (*Result, error) {
+	return core.Run(algo, g, opt.toConfig())
+}
+
+// CountSeq counts triangles sequentially (EDGE ITERATOR / COMPACT-FORWARD).
+func CountSeq(g *Graph) uint64 { return core.SeqCount(g) }
+
+// LCCSeq returns the exact local clustering coefficient of every vertex,
+// computed sequentially.
+func LCCSeq(g *Graph) []float64 { return core.SeqLCC(g) }
+
+// LCC computes local clustering coefficients distributedly with algo
+// (DITRIC/CETRIC variants only).
+func LCC(g *Graph, algo Algorithm, opt Options) ([]float64, *Result, error) {
+	opt.LCC = true
+	res, err := Count(g, algo, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.LCC, res, nil
+}
+
+// Enumerate calls fn once per triangle (corners ascending by vertex ID),
+// using the sequential counter.
+func Enumerate(g *Graph, fn func(a, b, c Vertex)) {
+	core.SeqEnumerate(g, func(v, u, w Vertex) {
+		a, b, c := v, u, w
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		fn(a, b, c)
+	})
+}
+
+// ApproxOptions configures the Bloom-filter approximate global phase.
+type ApproxOptions struct {
+	BitsPerKey float64 // filter bits per neighbor (default 8)
+	Blocked    bool    // cache-efficient blocked filter
+	Truthful   bool    // subtract expected false positives
+}
+
+// ApproxResult is re-exported from the core engine.
+type ApproxResult = core.ApproxResult
+
+// CountApprox runs the AMQ-approximate CETRIC: exact type-1/2 counting plus
+// Bloom-filter-approximated type-3 counting.
+func CountApprox(g *Graph, opt Options, aopt ApproxOptions) (*ApproxResult, error) {
+	return core.RunApproxCetric(g, opt.toConfig(), core.AMQConfig{
+		BitsPerKey: aopt.BitsPerKey,
+		Blocked:    aopt.Blocked,
+		Truthful:   aopt.Truthful,
+	})
+}
+
+// CountDoulion estimates the triangle count with DOULION edge sampling at
+// probability q on top of algo.
+func CountDoulion(g *Graph, algo Algorithm, opt Options, q float64, seed uint64) (float64, error) {
+	est, _, err := core.RunDoulion(algo, g, opt.toConfig(), q, seed)
+	return est, err
+}
+
+// CountColorful estimates the triangle count with colorful sparsification
+// (ncolors colors) on top of algo.
+func CountColorful(g *Graph, algo Algorithm, opt Options, ncolors int, seed uint64) (float64, error) {
+	est, _, err := core.RunColorful(algo, g, opt.toConfig(), ncolors, seed)
+	return est, err
+}
+
+// Generator conveniences (see internal/gen for the full catalog).
+
+// GenerateGNM samples an Erdős–Rényi G(n,m) graph.
+func GenerateGNM(n, m int, seed uint64) *Graph { return gen.GNM(n, m, seed) }
+
+// GenerateRMAT samples a Graph 500 R-MAT graph with 2^scale vertices.
+func GenerateRMAT(scale, edgeFactor int, seed uint64) *Graph {
+	cfg := gen.DefaultRMAT(scale, seed)
+	cfg.EdgeFactor = edgeFactor
+	return gen.RMAT(cfg)
+}
+
+// GenerateRGG2D samples a 2D random geometric graph with ~edgeFactor·n edges.
+func GenerateRGG2D(n, edgeFactor int, seed uint64) *Graph { return gen.RGG2D(n, edgeFactor, seed) }
+
+// GenerateRHG samples a random hyperbolic graph (power-law exponent gamma).
+func GenerateRHG(n int, avgDegree, gamma float64, seed uint64) *Graph {
+	return gen.RHG(gen.RHGConfig{N: n, AvgDegree: avgDegree, Gamma: gamma, Seed: seed})
+}
+
+// Instance builds one of the paper's real-world stand-in instances by name
+// (live-journal, orkut, twitter, friendster, uk-2007-05, webbase-2001, usa,
+// europe). scaleShift shrinks (<0) or grows (>0) the default size by powers
+// of two.
+func Instance(name string, scaleShift int, seed uint64) (*Graph, error) {
+	return gen.ByInstance(name, scaleShift, seed)
+}

@@ -1,0 +1,144 @@
+package tricount
+
+import (
+	"math"
+	"testing"
+)
+
+// Facade tests: exercise the public API end to end the way a downstream user
+// would.
+
+func TestCountFacade(t *testing.T) {
+	g := GenerateRMAT(10, 16, 42)
+	want := CountSeq(g)
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoDiTric2, AlgoCetric, AlgoCetric2, AlgoTriC, AlgoHavoq} {
+		res, err := Count(g, algo, Options{PEs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("%s: %d, want %d", algo, res.Count, want)
+		}
+	}
+}
+
+func TestCountRejectsZeroPEs(t *testing.T) {
+	g := GenerateGNM(100, 300, 1)
+	if _, err := Count(g, AlgoCetric, Options{}); err == nil {
+		t.Fatal("want error for zero PEs")
+	}
+}
+
+func TestLCCFacade(t *testing.T) {
+	g := GenerateRHG(1<<10, 16, 2.8, 7)
+	want := LCCSeq(g)
+	lcc, res, err := LCC(g, AlgoCetric2, Options{PEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != CountSeq(g) {
+		t.Fatal("count mismatch")
+	}
+	for v := range want {
+		if lcc[v] != want[v] {
+			t.Fatalf("LCC(%d) = %v, want %v", v, lcc[v], want[v])
+		}
+	}
+}
+
+func TestEnumerateFacade(t *testing.T) {
+	g := GenerateGNM(60, 300, 5)
+	count := uint64(0)
+	Enumerate(g, func(a, b, c Vertex) {
+		if !(a < b && b < c) {
+			t.Fatalf("corners not ascending: %d %d %d", a, b, c)
+		}
+		if !g.HasEdge(a, b) || !g.HasEdge(b, c) || !g.HasEdge(a, c) {
+			t.Fatal("non-triangle enumerated")
+		}
+		count++
+	})
+	if count != CountSeq(g) {
+		t.Fatalf("enumerated %d, want %d", count, CountSeq(g))
+	}
+}
+
+func TestApproxFacade(t *testing.T) {
+	g := GenerateGNM(1<<10, 16<<10, 9)
+	exact := CountSeq(g)
+	res, err := CountApprox(g, Options{PEs: 4}, ApproxOptions{BitsPerKey: 16, Truthful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(res.Estimate-float64(exact)) / float64(exact)
+	if rel > 0.05 {
+		t.Fatalf("estimate %f too far from %d (rel %f)", res.Estimate, exact, rel)
+	}
+}
+
+func TestDoulionColorfulFacades(t *testing.T) {
+	g := GenerateRMAT(9, 16, 3)
+	exact := float64(CountSeq(g))
+	est, err := CountDoulion(g, AlgoCetric, Options{PEs: 4}, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != exact {
+		t.Fatalf("doulion q=1: %f, want %f", est, exact)
+	}
+	est, err = CountColorful(g, AlgoCetric, Options{PEs: 4}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != exact {
+		t.Fatalf("colorful N=1: %f, want %f", est, exact)
+	}
+}
+
+func TestInstanceFacade(t *testing.T) {
+	g, err := Instance("orkut", -4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Fatalf("orkut at shift -4: n=%d, want 256", g.NumVertices())
+	}
+	if _, err := Instance("bogus", 0, 1); err == nil {
+		t.Fatal("want error for unknown instance")
+	}
+}
+
+func TestGeneratorFacades(t *testing.T) {
+	if g := GenerateGNM(100, 400, 1); g.NumEdges() != 400 {
+		t.Fatal("GNM size wrong")
+	}
+	if g := GenerateRMAT(8, 8, 1); g.NumVertices() != 256 {
+		t.Fatal("RMAT size wrong")
+	}
+	if g := GenerateRGG2D(512, 8, 1); g.NumVertices() != 512 {
+		t.Fatal("RGG size wrong")
+	}
+	if g := GenerateRHG(512, 16, 2.8, 1); g.NumVertices() != 512 {
+		t.Fatal("RHG size wrong")
+	}
+}
+
+func TestOptionsThreadsAndThreshold(t *testing.T) {
+	g := GenerateRMAT(9, 16, 11)
+	want := CountSeq(g)
+	res, err := Count(g, AlgoCetric, Options{PEs: 3, Threads: 4, Threshold: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("hybrid with tiny threshold: %d, want %d", res.Count, want)
+	}
+	// Indirect option forces grid routing on the plain algorithm name.
+	res2, err := Count(g, AlgoDiTric, Options{PEs: 9, Indirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != want {
+		t.Fatal("indirect option broke counting")
+	}
+}
