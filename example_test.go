@@ -2,9 +2,23 @@ package tricount_test
 
 import (
 	"fmt"
+	"log"
 
 	tricount "repro"
 )
+
+// Example_quickstart is the package documentation's quick start, verbatim:
+// if the doc comment and this example drift apart, review catches it; if the
+// snippet stops compiling or the count changes, this test fails.
+func Example_quickstart() {
+	g := tricount.GenerateRGG2D(1<<12, 16, 42)
+	res, err := tricount.Count(g, tricount.AlgoCetric, tricount.Options{PEs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Count)
+	// Output: 386649
+}
 
 // Counting triangles on a generated graph with CETRIC on four PEs.
 func ExampleCount() {

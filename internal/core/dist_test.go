@@ -7,33 +7,24 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/part"
+	"repro/internal/testgraph"
 )
 
-// testGraphs returns a diverse set of instances with known-good sequential
-// counts, spanning every structural regime the algorithms care about.
+// testGraphs returns the shared fixture catalog: a diverse set of instances
+// with precomputed exact triangle counts, spanning every structural regime
+// the algorithms care about (see internal/testgraph).
 func testGraphs() map[string]*graph.Graph {
-	return map[string]*graph.Graph{
-		"K12":        gen.Complete(12),
-		"bipartite":  gen.CompleteBipartite(7, 9),
-		"friendship": gen.Friendship(9),
-		"cliques":    gen.CliqueChain(6, 7),
-		"trigrid":    gen.TriangularGrid(9, 7),
-		"gnm":        gen.GNM(200, 1600, 7),
-		"rmat":       gen.RMAT(gen.DefaultRMAT(8, 11)),
-		"rgg":        gen.RGG2D(300, 8, 13),
-		"rhg":        gen.RHG(gen.RHGConfig{N: 300, AvgDegree: 12, Gamma: 2.8, Seed: 17}),
-		"road":       gen.RoadNetwork(16, 16, 0.2, 19),
-		"web":        gen.WebGraph(gen.WebConfig{N: 256, HostSize: 16, IntraP: 0.5, LongFactor: 3, Seed: 23}),
-		"sparse":     gen.GNM(100, 50, 29),
-	}
+	return testgraph.Map()
 }
 
 var testPEs = []int{1, 2, 3, 4, 7, 8}
 
 func TestDistributedAlgorithmsMatchSequential(t *testing.T) {
-	graphs := testGraphs()
-	for name, g := range graphs {
-		want := SeqCount(g)
+	for _, fix := range testgraph.All {
+		name, g, want := fix.Name, fix.Build(), fix.Triangles
+		if got := SeqCount(g); got != want {
+			t.Fatalf("SeqCount(%s) = %d, fixture says %d", name, got, want)
+		}
 		for _, algo := range Algorithms() {
 			for _, p := range testPEs {
 				t.Run(fmt.Sprintf("%s/%s/p=%d", algo, name, p), func(t *testing.T) {

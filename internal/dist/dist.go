@@ -1,0 +1,193 @@
+// Package dist is the SPMD runtime under the distributed algorithms: it
+// spawns one goroutine per processing element over a transport network and
+// wires each into the communication layer (metered Comm, the dynamically
+// buffered message Queue with threshold δ, and grid-based indirect routing
+// when requested). The algorithms in internal/core are written exactly like
+// MPI programs — a single body function executed by every rank — and this
+// package plays the role of mpirun plus the communicator bootstrap.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/transport"
+)
+
+// Config describes one cluster run.
+type Config struct {
+	// P is the number of processing elements (required, ≥ 1).
+	P int
+	// Threshold is the message-queue aggregation threshold δ in machine
+	// words; ≤ 0 selects the queue's default.
+	Threshold int
+	// Indirect routes queue records over the logical 2D PE grid (two hops,
+	// O(√p) peers per PE) instead of directly.
+	Indirect bool
+	// Network overrides the in-process channel transport (e.g. loopback
+	// TCP). When nil, Run creates a ChanNetwork of size P. Run closes the
+	// network when the run ends either way: endpoints are per-run state.
+	Network transport.Network
+}
+
+// PE is one processing element's view of the cluster: its rank, the cluster
+// size, the metered point-to-point/collective communicator, and the
+// aggregating message queue.
+type PE struct {
+	Rank int
+	P    int
+	C    *comm.Comm
+	Q    *comm.Queue
+}
+
+// Attach wires an existing transport endpoint into a PE. This is the
+// single-rank entry point used by real multi-process clusters (each process
+// attaches its own endpoint); Run uses it for every goroutine PE.
+func Attach(ep transport.Endpoint, threshold int, indirect bool) *PE {
+	c := comm.New(ep)
+	var grid *comm.Grid
+	if indirect {
+		grid = comm.NewGrid(ep.Size())
+	}
+	return &PE{
+		Rank: ep.Rank(),
+		P:    ep.Size(),
+		C:    c,
+		Q:    comm.NewQueue(c, threshold, grid),
+	}
+}
+
+// errAborted tears down PEs that outlive a failed sibling. The communication
+// layer polls its endpoint in a cooperative busy loop, so without this a PE
+// waiting for a frame that its failed peer will never send would spin
+// forever; instead the wrapped endpoint panics with this sentinel and the
+// runtime absorbs it.
+var errAborted = errors.New("dist: aborted: a sibling PE failed")
+
+// abortableEndpoint checks a cluster-wide abort flag on every transport
+// operation. It is the only cross-PE channel the runtime needs to guarantee
+// that one failing body cannot deadlock the rest of the cluster.
+type abortableEndpoint struct {
+	transport.Endpoint
+	aborted *atomic.Bool
+}
+
+func (e abortableEndpoint) Send(dst int, words []uint64) error {
+	if e.aborted.Load() {
+		panic(errAborted)
+	}
+	return e.Endpoint.Send(dst, words)
+}
+
+func (e abortableEndpoint) Recv() (transport.Frame, bool) {
+	if e.aborted.Load() {
+		panic(errAborted)
+	}
+	return e.Endpoint.Recv()
+}
+
+// Run executes body on P goroutine PEs connected by cfg.Network (an
+// in-process channel network by default) and returns each PE's communication
+// metrics, indexed by rank.
+//
+// Error semantics match an MPI job launcher: every PE runs to completion or
+// abort, all goroutines are joined before Run returns, and the first error
+// in rank order wins. A body returning an error (or panicking) aborts the
+// remaining PEs — they observe the abort at their next transport operation
+// instead of spinning on messages that will never arrive.
+func Run(cfg Config, body func(*PE) error) ([]comm.Metrics, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("dist: config needs P > 0, got %d", cfg.P)
+	}
+	net := cfg.Network
+	if net == nil {
+		net = transport.NewChanNetwork(cfg.P)
+	}
+	defer net.Close()
+
+	var aborted atomic.Bool
+	pes := make([]*PE, cfg.P)
+	for r := range pes {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			return nil, fmt.Errorf("dist: endpoint %d: %w", r, err)
+		}
+		if ep.Size() != cfg.P {
+			// A size mismatch would otherwise deadlock: PEs would wait on
+			// collectives involving ranks that are never spawned.
+			return nil, fmt.Errorf("dist: network size %d does not match config P %d", ep.Size(), cfg.P)
+		}
+		pes[r] = Attach(abortableEndpoint{Endpoint: ep, aborted: &aborted}, cfg.Threshold, cfg.Indirect)
+	}
+
+	errs := make([]error, cfg.P)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.P; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				aborted.Store(true)
+				if err, ok := rec.(error); ok && errors.Is(err, errAborted) {
+					errs[r] = errAborted
+					return
+				}
+				errs[r] = fmt.Errorf("dist: PE %d panicked: %v\n%s", r, rec, debug.Stack())
+			}()
+			if err := body(pes[r]); err != nil {
+				errs[r] = fmt.Errorf("dist: PE %d: %w", r, err)
+				aborted.Store(true)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// First real error in rank order; abort echoes only matter when no PE
+	// reported a cause (a body panicked with errAborted itself — still an
+	// error, just a less informative one).
+	var firstAbort error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, errAborted) {
+			if firstAbort == nil {
+				firstAbort = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if firstAbort != nil {
+		return nil, firstAbort
+	}
+
+	metrics := make([]comm.Metrics, cfg.P)
+	for r, pe := range pes {
+		metrics[r] = pe.C.M
+	}
+	return metrics, nil
+}
+
+// Modeled evaluates a run's per-PE metrics under the α+β network cost model:
+// for each built-in costmodel profile it reports the bottleneck (max over
+// PEs) modeled communication time. This is the paper's "what would the same
+// traffic cost on a slower interconnect" lens, available directly on the
+// runtime's return value.
+func Modeled(per []comm.Metrics) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(costmodel.Profiles()))
+	for _, prof := range costmodel.Profiles() {
+		out[prof.Name] = costmodel.Bottleneck(per, prof)
+	}
+	return out
+}

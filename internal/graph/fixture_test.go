@@ -1,0 +1,49 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/testgraph"
+)
+
+// orient returns the ID-oriented out-lists A(v) = {u ∈ N(v) | u > v},
+// sorted ascending (Neighbors is sorted, so the suffix is too).
+func orient(g *graph.Graph) [][]graph.Vertex {
+	out := make([][]graph.Vertex, g.NumVertices())
+	for v := range out {
+		nv := g.Neighbors(graph.Vertex(v))
+		i := 0
+		for i < len(nv) && nv[i] <= graph.Vertex(v) {
+			i++
+		}
+		out[v] = nv[i:]
+	}
+	return out
+}
+
+// TestIntersectionCountsMatchFixtures drives the intersection primitives
+// through a whole-graph triangle count on every shared fixture: each
+// oriented edge (v,u) contributes |A(v) ∩ A(u)| triangles, and the total
+// must equal the fixture's precomputed count. This pins CountIntersect,
+// CountMerge, and ForEachCommon against an external ground truth instead of
+// only against each other.
+func TestIntersectionCountsMatchFixtures(t *testing.T) {
+	for _, fix := range testgraph.All {
+		g := fix.Build()
+		out := orient(g)
+		var viaGallop, viaMerge, viaCommon uint64
+		for _, av := range out {
+			for _, u := range av {
+				au := out[u]
+				viaGallop += graph.CountIntersect(av, au)
+				viaMerge += graph.CountMerge(av, au)
+				graph.ForEachCommon(av, au, func(graph.Vertex) { viaCommon++ })
+			}
+		}
+		if viaGallop != fix.Triangles || viaMerge != fix.Triangles || viaCommon != fix.Triangles {
+			t.Errorf("%s: gallop=%d merge=%d common=%d, want %d",
+				fix.Name, viaGallop, viaMerge, viaCommon, fix.Triangles)
+		}
+	}
+}

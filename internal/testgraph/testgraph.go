@@ -1,0 +1,90 @@
+// Package testgraph is the shared test-fixture catalog: a set of named
+// graphs spanning every structural regime the triangle counting algorithms
+// care about (dense cliques, triangle-free bipartite, windmills, planar-ish
+// grids, power-law R-MAT/RHG, geometric RGG, road and web stand-ins), each
+// with its exact triangle count precomputed. The graph, gen, and core test
+// suites all draw from this one source, so a generator change that shifts a
+// fixture's structure fails loudly in exactly one place.
+package testgraph
+
+import (
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Graph is one named fixture instance.
+type Graph struct {
+	Name string
+	// Triangles is the exact triangle count, precomputed by brute-force
+	// enumeration (and closed forms where they exist: K12 = C(12,3),
+	// cliques = 6·C(7,3), trigrid = 2·(w−1)·(h−1), friendship = k).
+	Triangles uint64
+	build     func() *graph.Graph
+}
+
+// Build constructs a fresh copy of the fixture graph.
+func (g Graph) Build() *graph.Graph { return g.build() }
+
+// All lists every fixture. Seeds and sizes are part of the fixture identity:
+// changing them invalidates the Triangles column (the package self-test
+// recomputes it by brute force).
+var All = []Graph{
+	{Name: "K12", Triangles: 220, build: func() *graph.Graph { return gen.Complete(12) }},
+	{Name: "bipartite", Triangles: 0, build: func() *graph.Graph { return gen.CompleteBipartite(7, 9) }},
+	{Name: "friendship", Triangles: 9, build: func() *graph.Graph { return gen.Friendship(9) }},
+	{Name: "cliques", Triangles: 210, build: func() *graph.Graph { return gen.CliqueChain(6, 7) }},
+	{Name: "trigrid", Triangles: 96, build: func() *graph.Graph { return gen.TriangularGrid(9, 7) }},
+	{Name: "gnm", Triangles: 686, build: func() *graph.Graph { return gen.GNM(200, 1600, 7) }},
+	{Name: "rmat", Triangles: 10200, build: func() *graph.Graph { return gen.RMAT(gen.DefaultRMAT(8, 11)) }},
+	{Name: "rgg", Triangles: 6310, build: func() *graph.Graph { return gen.RGG2D(300, 8, 13) }},
+	{Name: "rhg", Triangles: 4461, build: func() *graph.Graph {
+		return gen.RHG(gen.RHGConfig{N: 300, AvgDegree: 12, Gamma: 2.8, Seed: 17})
+	}},
+	{Name: "road", Triangles: 108, build: func() *graph.Graph { return gen.RoadNetwork(16, 16, 0.2, 19) }},
+	{Name: "web", Triangles: 1483, build: func() *graph.Graph {
+		return gen.WebGraph(gen.WebConfig{N: 256, HostSize: 16, IntraP: 0.5, LongFactor: 3, Seed: 23})
+	}},
+	{Name: "sparse", Triangles: 0, build: func() *graph.Graph { return gen.GNM(100, 50, 29) }},
+}
+
+// ByName returns the named fixture, or ok=false.
+func ByName(name string) (Graph, bool) {
+	for _, g := range All {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Graph{}, false
+}
+
+// Map builds every fixture keyed by name (the shape the core cross-
+// validation matrix iterates over).
+func Map() map[string]*graph.Graph {
+	m := make(map[string]*graph.Graph, len(All))
+	for _, g := range All {
+		m[g.Name] = g.Build()
+	}
+	return m
+}
+
+// BruteForceCount counts triangles by testing all C(n,3) vertex triples
+// against the adjacency structure — O(n³), independent of every production
+// counting path, and therefore the arbiter the fixtures and the generator
+// golden tests are checked against. Only for small test instances.
+func BruteForceCount(g *graph.Graph) uint64 {
+	n := graph.Vertex(g.NumVertices())
+	var count uint64
+	for v := graph.Vertex(0); v < n; v++ {
+		for u := v + 1; u < n; u++ {
+			if !g.HasEdge(v, u) {
+				continue
+			}
+			for w := u + 1; w < n; w++ {
+				if g.HasEdge(v, w) && g.HasEdge(u, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -22,11 +22,15 @@
 // model. PEs run as goroutines over an in-process transport by default; a
 // TCP transport (see internal/transport) runs real multi-process clusters.
 //
-// Quick start:
+// Quick start (compiles verbatim; covered by Example_quickstart):
 //
-//	g := tricount.GenerateRGG2D(1<<14, 16, 42)
+//	g := tricount.GenerateRGG2D(1<<12, 16, 42)
 //	res, err := tricount.Count(g, tricount.AlgoCetric, tricount.Options{PEs: 8})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(res.Count)
+//	// Output: 386649
 package tricount
 
 import (
