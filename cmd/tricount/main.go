@@ -8,6 +8,7 @@
 //	tricount -instance friendster -algo ditric2 -p 32 -lcc
 //	tricount -input graph.txt -algo cetric2 -p 8 -threads 4
 //	tricount -gen rhg -n 16384 -algo cetric -p 4 -approx -bits 8
+//	tricount -gen rgg2d -n 4096 -algo ditric -p 8 -codec raw   # vs default auto
 //
 // Multi-process TCP mode (run once per rank, same -peers list):
 //
@@ -56,6 +57,7 @@ func run() error {
 		lcc       = flag.Bool("lcc", false, "compute local clustering coefficients")
 		sparse    = flag.Bool("sparse-degree", false, "sparse ghost degree exchange")
 		partBy    = flag.String("partition", "uniform", "1D partitioner: uniform|degree|wedges")
+		codec     = flag.String("codec", "auto", "wire codec policy: auto|raw|varint|deltavarint")
 
 		approx = flag.Bool("approx", false, "AMQ-approximate type-3 counting (CETRIC)")
 		bits   = flag.Float64("bits", 8, "Bloom filter bits per key for -approx")
@@ -93,7 +95,7 @@ func run() error {
 
 	cfg := core.Config{
 		P: *p, Threshold: *threshold, Threads: *threads,
-		LCC: *lcc, SparseDegreeExchange: *sparse,
+		LCC: *lcc, SparseDegreeExchange: *sparse, Codec: *codec,
 	}
 	switch *partBy {
 	case "uniform":
@@ -166,8 +168,12 @@ func printComm(agg comm.Aggregate, per []comm.Metrics) {
 	fmt.Printf("comm: frames(max/total)=%s/%s volume(max/total words)=%s/%s peak-buffer(max)=%s\n",
 		human(agg.MaxSentFrames), human(agg.TotalFrames),
 		human(agg.MaxPayloadWords), human(agg.TotalPayload), human(agg.MaxPeakBuffered))
+	fmt.Printf("wire: bytes(raw/encoded)=%s/%s compression=%.2fx\n",
+		human(agg.TotalRawBytes), human(agg.TotalEncodedBytes), agg.CompressionRatio())
 	for _, prof := range costmodel.Profiles() {
-		fmt.Printf("  t_model(%s): %v\n", prof.Name, costmodel.Bottleneck(per, prof).Round(time.Microsecond))
+		fmt.Printf("  t_model(%s): words %v, wire %v\n", prof.Name,
+			costmodel.Bottleneck(per, prof).Round(time.Microsecond),
+			costmodel.BottleneckWire(per, prof).Round(time.Microsecond))
 	}
 }
 

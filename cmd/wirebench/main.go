@@ -1,0 +1,92 @@
+// Command wirebench measures words-on-wire vs bytes-on-wire for DITRIC and
+// CETRIC across codec policies on the RGG2D and RHG benchmark fixtures, and
+// prints the result as JSON. BENCH_pr2.json in the repo root is a recorded
+// run:
+//
+//	go run ./cmd/wirebench > BENCH_pr2.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+type row struct {
+	Graph        string  `json:"graph"`
+	Algo         string  `json:"algo"`
+	Codec        string  `json:"codec"`
+	Triangles    uint64  `json:"triangles"`
+	SentFrames   int64   `json:"sent_frames"`
+	WordsOnWire  int64   `json:"words_on_wire"`
+	RawBytes     int64   `json:"raw_bytes"`
+	BytesOnWire  int64   `json:"bytes_on_wire"`
+	Compression  float64 `json:"compression"`
+	PayloadWords int64   `json:"payload_words"`
+}
+
+type report struct {
+	Note   string `json:"note"`
+	Go     string `json:"go"`
+	PEs    int    `json:"pes"`
+	Runs   []row  `json:"runs"`
+	Policy string `json:"default_policy"`
+}
+
+func main() {
+	const p = 8
+	graphs := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"rgg2d-2^12", func() *graph.Graph { return gen.RGG2D(1<<12, 16, 42) }},
+		{"rhg-2^12", func() *graph.Graph {
+			return gen.RHG(gen.RHGConfig{N: 1 << 12, AvgDegree: 16, Gamma: 2.8, Seed: 42})
+		}},
+	}
+	rep := report{
+		Note: "Wire traffic per codec policy: words are pre-encoding (the paper's volume, " +
+			"codec-independent), bytes are what crossed the transport. Single deterministic " +
+			"runs; traffic metrics are exact, not timings.",
+		Go:     runtime.Version(),
+		PEs:    p,
+		Policy: core.CodecAuto,
+	}
+	for _, gspec := range graphs {
+		g := gspec.build()
+		for _, algo := range []core.Algorithm{core.AlgoDiTric, core.AlgoCetric} {
+			for _, policy := range []string{core.CodecRaw, core.CodecVarint, core.CodecDeltaVarint, core.CodecAuto} {
+				res, err := core.Run(algo, g, core.Config{P: p, Codec: policy})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "wirebench: %s/%s/%s: %v\n", gspec.name, algo, policy, err)
+					os.Exit(1)
+				}
+				agg := comm.AggregateOf(res.PerPE)
+				rep.Runs = append(rep.Runs, row{
+					Graph:        gspec.name,
+					Algo:         string(algo),
+					Codec:        policy,
+					Triangles:    res.Count,
+					SentFrames:   agg.TotalFrames,
+					WordsOnWire:  agg.TotalWords,
+					RawBytes:     agg.TotalRawBytes,
+					BytesOnWire:  agg.TotalEncodedBytes,
+					Compression:  agg.CompressionRatio(),
+					PayloadWords: agg.TotalPayload,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "wirebench:", err)
+		os.Exit(1)
+	}
+}

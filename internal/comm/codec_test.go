@@ -1,0 +1,272 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func codecs() []Codec { return []Codec{Raw, Varint, DeltaVarint} }
+
+// codecPayloadCases spans the shapes the queue channels actually ship plus
+// the degenerate corners the wire format must survive.
+func codecPayloadCases() map[string][]uint64 {
+	sorted := make([]uint64, 300)
+	for i := range sorted {
+		sorted[i] = 1_000_000 + 3*uint64(i)
+	}
+	random := make([]uint64, 97)
+	seed := uint64(12345)
+	for i := range random {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		random[i] = seed
+	}
+	return map[string][]uint64{
+		"empty":        {},
+		"single-zero":  {0},
+		"single-max":   {math.MaxUint64},
+		"all-max":      {math.MaxUint64, math.MaxUint64, math.MaxUint64},
+		"wraparound":   {math.MaxUint64, 0, math.MaxUint64, 1},
+		"descending":   {100, 50, 10, 0},
+		"sorted-row":   sorted,
+		"random-words": random,
+		"repeats":      {7, 7, 7, 7, 7, 7},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, c := range codecs() {
+		for name, words := range codecPayloadCases() {
+			t.Run(c.Name()+"/"+name, func(t *testing.T) {
+				enc := c.AppendEncoded(nil, words)
+				dec, err := c.AppendDecoded(nil, enc)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if !slices.Equal(dec, words) {
+					t.Fatalf("round trip mismatch: got %v, want %v", dec, words)
+				}
+				// Appending must not disturb a pre-filled destination.
+				prefix := []uint64{42}
+				dec2, err := c.AppendDecoded(prefix, enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dec2[0] != 42 || !slices.Equal(dec2[1:], words) {
+					t.Fatalf("append decode clobbered destination: %v", dec2)
+				}
+			})
+		}
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for _, c := range codecs() {
+		got, err := CodecByName(c.Name())
+		if err != nil || got.Name() != c.Name() {
+			t.Fatalf("CodecByName(%q) = %v, %v", c.Name(), got, err)
+		}
+	}
+	if _, err := CodecByName("zstd"); err == nil {
+		t.Fatal("expected error for unknown codec name")
+	}
+}
+
+func TestDeltaVarintCompressesSortedRows(t *testing.T) {
+	// A clustered sorted adjacency row must shrink well below raw and below
+	// plain varint (the whole point of the codec layer).
+	row := make([]uint64, 256)
+	for i := range row {
+		row[i] = 1 << 40 // large base: varint alone cannot win
+	}
+	for i := 1; i < len(row); i++ {
+		row[i] = row[i-1] + uint64(1+i%7)
+	}
+	raw := len(Raw.AppendEncoded(nil, row))
+	vi := len(Varint.AppendEncoded(nil, row))
+	dv := len(DeltaVarint.AppendEncoded(nil, row))
+	if dv*4 > raw {
+		t.Fatalf("delta-varint %dB vs raw %dB: expected >=4x on clustered rows", dv, raw)
+	}
+	if dv >= vi {
+		t.Fatalf("delta-varint %dB should beat plain varint %dB on sorted rows", dv, vi)
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	if _, err := Raw.AppendDecoded(nil, []byte{1, 2, 3}); err == nil {
+		t.Error("raw: want error for length not a multiple of 8")
+	}
+	// A lone continuation byte is a truncated varint.
+	if _, err := Varint.AppendDecoded(nil, []byte{0x80}); err == nil {
+		t.Error("varint: want error for truncated input")
+	}
+	if _, err := DeltaVarint.AppendDecoded(nil, []byte{0x80}); err == nil {
+		t.Error("deltavarint: want error for truncated input")
+	}
+	if _, err := DeltaVarint.AppendDecoded(nil, []byte{1, 0x80}); err == nil {
+		t.Error("deltavarint: want error for truncated delta")
+	}
+}
+
+// FuzzCodecRoundTrip feeds arbitrary byte strings reinterpreted as word
+// payloads through every codec and demands exact reconstruction.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("sorted rows compress, random ones must still round trip"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := make([]uint64, 0, len(data)/8+1)
+		for i := 0; i+8 <= len(data); i += 8 {
+			var w uint64
+			for j := 0; j < 8; j++ {
+				w |= uint64(data[i+j]) << (8 * j)
+			}
+			words = append(words, w)
+		}
+		for _, c := range codecs() {
+			enc := c.AppendEncoded(nil, words)
+			dec, err := c.AppendDecoded(nil, enc)
+			if err != nil {
+				t.Fatalf("%s: decode own encoding: %v", c.Name(), err)
+			}
+			if !slices.Equal(dec, words) {
+				t.Fatalf("%s: round trip mismatch", c.Name())
+			}
+		}
+	})
+}
+
+// runClusterOn is runCluster over an arbitrary transport network, so the
+// same queue traffic can be driven over the in-process and the TCP wire.
+func runClusterOn(t *testing.T, net transport.Network, p, threshold int, indirect bool,
+	setup func(q *Queue), body func(rank int, c *Comm, q *Queue)) []Metrics {
+	t.Helper()
+	metrics := make([]Metrics, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		ep, err := net.Endpoint(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(rank int, ep transport.Endpoint) {
+			defer wg.Done()
+			c := New(ep)
+			var grid *Grid
+			if indirect {
+				grid = NewGrid(p)
+			}
+			q := NewQueue(c, threshold, grid)
+			setup(q)
+			body(rank, c, q)
+			metrics[rank] = c.M
+		}(rank, ep)
+	}
+	wg.Wait()
+	return metrics
+}
+
+// TestQueueCodecRoundTripOverTransports ships every payload corner case on
+// per-channel codecs over both the chan and the TCP transport, with and
+// without grid indirection (the proxy re-encode path), and checks exact
+// delivery.
+func TestQueueCodecRoundTripOverTransports(t *testing.T) {
+	const p = 4
+	networks := map[string]func() (transport.Network, error){
+		"chan": func() (transport.Network, error) { return transport.NewChanNetwork(p), nil },
+		"tcp":  func() (transport.Network, error) { return transport.NewLoopbackTCPNetwork(p) },
+	}
+	cases := codecPayloadCases()
+	caseNames := make([]string, 0, len(cases))
+	for name := range cases {
+		caseNames = append(caseNames, name)
+	}
+	slices.Sort(caseNames)
+
+	for netName, mk := range networks {
+		for _, indirect := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/indirect=%v", netName, indirect), func(t *testing.T) {
+				net, err := mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer net.Close()
+
+				// One channel per codec; every payload case travels on all
+				// of them between every PE pair.
+				chCodecs := []Codec{Raw, Varint, DeltaVarint}
+				type key struct {
+					ch, src int
+					cs      string
+				}
+				var mu sync.Mutex
+				got := make(map[int]map[key][]uint64) // dst -> received
+
+				ms := runClusterOn(t, net, p, 64, indirect, func(q *Queue) {
+					for ch, c := range chCodecs {
+						q.SetCodec(ch, c)
+					}
+				}, func(rank int, c *Comm, q *Queue) {
+					mu.Lock()
+					got[rank] = make(map[key][]uint64)
+					mu.Unlock()
+					for ch := range chCodecs {
+						ch := ch
+						q.Handle(ch, func(src int, words []uint64) {
+							// First word names the payload case index so the
+							// receiver can file it; the rest is the payload.
+							cs := caseNames[words[0]]
+							mu.Lock()
+							got[rank][key{ch, src, cs}] = append([]uint64(nil), words[1:]...)
+							mu.Unlock()
+						})
+					}
+					c.Barrier()
+					for dst := 0; dst < p; dst++ {
+						if dst == rank {
+							continue
+						}
+						for ci, cs := range caseNames {
+							for ch := range chCodecs {
+								payload := append([]uint64{uint64(ci)}, cases[cs]...)
+								q.Send(ch, dst, payload)
+							}
+						}
+					}
+					q.Drain()
+				})
+
+				for dst := 0; dst < p; dst++ {
+					for src := 0; src < p; src++ {
+						if src == dst {
+							continue
+						}
+						for _, cs := range caseNames {
+							for ch := range chCodecs {
+								words, ok := got[dst][key{ch, src, cs}]
+								if !ok {
+									t.Fatalf("dst %d missing %s from %d on ch %d", dst, cs, src, ch)
+								}
+								if !slices.Equal(words, cases[cs]) {
+									t.Fatalf("dst %d case %s ch %d: got %v want %v", dst, cs, ch, words, cases[cs])
+								}
+							}
+						}
+					}
+				}
+				// Wire accounting must hold on every transport: something was
+				// encoded, and raw bytes reflect the word volume exactly.
+				for rank, m := range ms {
+					if m.EncodedBytes <= 0 || m.RawBytes != 8*m.SentWords {
+						t.Fatalf("rank %d: inconsistent wire accounting: %+v", rank, m)
+					}
+				}
+			})
+		}
+	}
+}

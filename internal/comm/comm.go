@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"encoding/binary"
 	"runtime"
 
 	"repro/internal/transport"
@@ -25,6 +26,15 @@ const (
 const kindMask = 0xffff
 
 func tag(kind, epoch uint64) uint64 { return kind | epoch<<16 }
+
+// tagOf extracts the demultiplexing tag from either frame shape: word 0 of a
+// word frame, the first 8 little-endian bytes of a byte frame.
+func tagOf(f transport.Frame) uint64 {
+	if f.Bytes != nil {
+		return binary.LittleEndian.Uint64(f.Bytes)
+	}
+	return f.Words[0]
+}
 
 // Comm wraps a transport endpoint with tag-based demultiplexing and metering.
 // A PE is single-threaded (or funnels communication through one goroutine,
@@ -64,11 +74,26 @@ func (c *Comm) nextEpoch(kind uint64) uint64 {
 	return e
 }
 
-// sendData ships a data frame and meters it.
+// sendData ships a word-framed data frame (dense exchanges) and meters it;
+// word frames hit the wire uncompressed, so encoded equals raw bytes.
 func (c *Comm) sendData(dst int, words []uint64) error {
 	c.M.SentFrames++
 	c.M.SentWords += int64(len(words))
+	c.M.RawBytes += int64(8 * len(words))
+	c.M.EncodedBytes += int64(8 * len(words))
 	return c.ep.Send(dst, words)
+}
+
+// sendDataBytes ships a codec-encoded data frame. rawWords is the frame's
+// pre-encoding size in machine words (tag + envelopes + payloads), which
+// keeps SentWords — the paper's reported volume — codec-independent while
+// EncodedBytes records what actually crossed the wire.
+func (c *Comm) sendDataBytes(dst int, frame []byte, rawWords int) error {
+	c.M.SentFrames++
+	c.M.SentWords += int64(rawWords)
+	c.M.RawBytes += int64(8 * rawWords)
+	c.M.EncodedBytes += int64(len(frame))
+	return c.ep.SendBytes(dst, frame)
 }
 
 // notePeer records a distinct queue-level destination. Only aggregated
@@ -108,7 +133,7 @@ func (c *Comm) next(match func(t uint64) bool) (transport.Frame, bool) {
 		if !ok {
 			return transport.Frame{}, false
 		}
-		t := f.Words[0]
+		t := tagOf(f)
 		if match(t) {
 			return f, true
 		}

@@ -3,7 +3,9 @@
 // aggregation and threshold δ (§IV-A), grid-based indirect message delivery
 // (§IV-B), an asynchronous sparse all-to-all with distributed termination
 // detection, dense exchanges, and basic collectives. All traffic is metered
-// in messages and machine words, matching the paper's reported quantities.
+// in messages and machine words, matching the paper's reported quantities,
+// and — since data frames are codec-encoded at the flush boundary (see
+// codec.go) — in raw vs encoded bytes on the wire.
 package comm
 
 // Metrics counts one PE's communication. Frames and words are transport
@@ -13,8 +15,10 @@ package comm
 // separate counter so the algorithm numbers stay clean.
 type Metrics struct {
 	SentFrames   int64 // data frames handed to the transport
-	SentWords    int64 // words in data frames (envelope headers included)
+	SentWords    int64 // words in data frames (envelope headers included), pre-encoding
 	PayloadWords int64 // algorithm record words (the paper's "volume")
+	RawBytes     int64 // data frame bytes before codec encoding (8 × SentWords)
+	EncodedBytes int64 // data frame bytes as shipped on the wire (after codec)
 	RecvFrames   int64
 	RecvWords    int64
 	Flushes      int64 // buffer flush events
@@ -28,6 +32,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.SentFrames += other.SentFrames
 	m.SentWords += other.SentWords
 	m.PayloadWords += other.PayloadWords
+	m.RawBytes += other.RawBytes
+	m.EncodedBytes += other.EncodedBytes
 	m.RecvFrames += other.RecvFrames
 	m.RecvWords += other.RecvWords
 	m.Flushes += other.Flushes
@@ -47,6 +53,8 @@ func (m Metrics) Sub(start Metrics) Metrics {
 		SentFrames:   m.SentFrames - start.SentFrames,
 		SentWords:    m.SentWords - start.SentWords,
 		PayloadWords: m.PayloadWords - start.PayloadWords,
+		RawBytes:     m.RawBytes - start.RawBytes,
+		EncodedBytes: m.EncodedBytes - start.EncodedBytes,
 		RecvFrames:   m.RecvFrames - start.RecvFrames,
 		RecvWords:    m.RecvWords - start.RecvWords,
 		Flushes:      m.Flushes - start.Flushes,
@@ -60,15 +68,27 @@ func (m Metrics) Sub(start Metrics) Metrics {
 // maximum outgoing messages over all PEs and bottleneck (max) volume, plus
 // totals.
 type Aggregate struct {
-	TotalFrames     int64
-	TotalWords      int64
-	TotalPayload    int64
-	MaxSentFrames   int64 // "sent messages" series of Fig. 5
-	MaxSentWords    int64
-	MaxPayloadWords int64 // "bottleneck communication volume" of Fig. 5
-	MaxPeakBuffered int64 // TriC's OOM indicator
-	MaxPeers        int64 // max distinct destinations over PEs
-	ControlSent     int64
+	TotalFrames       int64
+	TotalWords        int64
+	TotalPayload      int64
+	TotalRawBytes     int64 // pre-encoding data traffic in bytes
+	TotalEncodedBytes int64 // on-the-wire data traffic in bytes
+	MaxSentFrames     int64 // "sent messages" series of Fig. 5
+	MaxSentWords      int64
+	MaxPayloadWords   int64 // "bottleneck communication volume" of Fig. 5
+	MaxEncodedBytes   int64 // bottleneck wire bytes over PEs
+	MaxPeakBuffered   int64 // TriC's OOM indicator
+	MaxPeers          int64 // max distinct destinations over PEs
+	ControlSent       int64
+}
+
+// CompressionRatio returns raw over encoded data bytes (1 when nothing was
+// sent or every channel ran the Raw codec's envelope-free equivalent).
+func (a Aggregate) CompressionRatio() float64 {
+	if a.TotalEncodedBytes == 0 {
+		return 1
+	}
+	return float64(a.TotalRawBytes) / float64(a.TotalEncodedBytes)
 }
 
 // AggregateOf folds per-PE metrics.
@@ -78,12 +98,17 @@ func AggregateOf(per []Metrics) Aggregate {
 		a.TotalFrames += m.SentFrames
 		a.TotalWords += m.SentWords
 		a.TotalPayload += m.PayloadWords
+		a.TotalRawBytes += m.RawBytes
+		a.TotalEncodedBytes += m.EncodedBytes
 		a.ControlSent += m.ControlSent
 		if m.SentFrames > a.MaxSentFrames {
 			a.MaxSentFrames = m.SentFrames
 		}
 		if m.SentWords > a.MaxSentWords {
 			a.MaxSentWords = m.SentWords
+		}
+		if m.EncodedBytes > a.MaxEncodedBytes {
+			a.MaxEncodedBytes = m.EncodedBytes
 		}
 		if m.PayloadWords > a.MaxPayloadWords {
 			a.MaxPayloadWords = m.PayloadWords

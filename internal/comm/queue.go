@@ -1,8 +1,11 @@
 package comm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
+
+	"repro/internal/transport"
 )
 
 // MaxChannels is the number of logical message channels a Queue multiplexes.
@@ -38,6 +41,9 @@ type Queue struct {
 	bufs     map[int][]uint64
 	buffered int
 	handlers [MaxChannels]Handler
+	codecs   [MaxChannels]Codec
+
+	encScratch []byte // per-record encode buffer, reused across flushes
 
 	// Termination counters (data frames only).
 	sent int64
@@ -50,17 +56,27 @@ type Queue struct {
 const envHdr = 4
 
 // NewQueue creates a message queue. threshold is δ in machine words; values
-// ≤ 0 select a default of 1<<16 words. grid may be nil for direct delivery.
+// ≤ 0 select a fallback of 1<<16 words — a backstop for direct Queue users
+// only. The authoritative δ for algorithm runs is core's 2|E|/p (see
+// core.DefaultThreshold), which keeps queue memory in O(|E_i|); every run
+// driver computes it before the queue is built, so this fallback is never
+// hit on the paper's code paths.
+//
+// Every channel starts on the Raw codec; use SetCodec to compress.
 func NewQueue(c *Comm, threshold int, grid *Grid) *Queue {
 	if threshold <= 0 {
 		threshold = 1 << 16
 	}
-	return &Queue{
+	q := &Queue{
 		c:         c,
 		grid:      grid,
 		threshold: threshold,
 		bufs:      make(map[int][]uint64),
 	}
+	for ch := range q.codecs {
+		q.codecs[ch] = Raw
+	}
+	return q
 }
 
 // Comm returns the underlying Comm (for metrics access).
@@ -71,6 +87,23 @@ func (q *Queue) Comm() *Comm { return q.c }
 func (q *Queue) Handle(ch int, h Handler) {
 	q.handlers[ch] = h
 }
+
+// SetCodec installs the wire codec for a channel. Sender and receiver decode
+// with their own tables, so every PE of a run must install the same codec on
+// the same channel before any record for it is in flight (alongside Handle,
+// before the post-preprocessing barrier).
+func (q *Queue) SetCodec(ch int, codec Codec) {
+	if ch < 0 || ch >= MaxChannels {
+		panic(fmt.Sprintf("comm: channel %d out of range", ch))
+	}
+	if codec == nil {
+		codec = Raw
+	}
+	q.codecs[ch] = codec
+}
+
+// CodecOf returns the codec installed on a channel.
+func (q *Queue) CodecOf(ch int) Codec { return q.codecs[ch] }
 
 // Send enqueues a record for dst on the given channel. Local destinations
 // are delivered immediately without touching the network. The payload is
@@ -116,8 +149,10 @@ func (q *Queue) append(hop, finalDst, origSrc, ch int, payload []uint64) {
 	}
 }
 
-// Flush sends every non-empty buffer to its next hop and installs fresh
-// buffers (the double-buffer swap).
+// Flush encodes every non-empty buffer with the per-channel codecs and sends
+// the resulting byte frame to its next hop, installing fresh buffers (the
+// double-buffer swap: records keep aggregating in raw words while encoded
+// frames travel).
 func (q *Queue) Flush() {
 	if q.buffered == 0 {
 		return
@@ -126,15 +161,40 @@ func (q *Queue) Flush() {
 		if len(buf) <= 1 {
 			continue
 		}
+		frame := q.encodeFrame(buf)
 		q.sent++
 		q.c.M.Flushes++
 		q.c.notePeer(hop)
-		if err := q.c.sendData(hop, buf); err != nil {
+		if err := q.c.sendDataBytes(hop, frame, len(buf)); err != nil {
 			panic(fmt.Sprintf("comm: flush to %d: %v", hop, err))
 		}
 		delete(q.bufs, hop)
 	}
 	q.buffered = 0
+}
+
+// encodeFrame serializes one raw word buffer ([tag, envelopes+payloads...])
+// into a wire byte frame: the 8-byte tag, then per record the envelope as
+// uvarints (finalDst, origSrc, channel, encoded byte length) followed by the
+// payload encoded with its channel's codec.
+func (q *Queue) encodeFrame(buf []uint64) []byte {
+	out := make([]byte, 8, 8+8*(len(buf)-1))
+	binary.LittleEndian.PutUint64(out, buf[0])
+	i := 1
+	for i < len(buf) {
+		finalDst, origSrc, ch := buf[i], buf[i+1], buf[i+2]
+		n := int(buf[i+3])
+		payload := buf[i+4 : i+4+n]
+		i += envHdr + n
+		enc := q.codecs[ch].AppendEncoded(q.encScratch[:0], payload)
+		q.encScratch = enc[:0]
+		out = binary.AppendUvarint(out, finalDst)
+		out = binary.AppendUvarint(out, origSrc)
+		out = binary.AppendUvarint(out, ch)
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
 }
 
 // Poll processes all currently pending data frames; it returns true if it
@@ -146,33 +206,60 @@ func (q *Queue) Poll() bool {
 		if !ok {
 			return any
 		}
-		q.processData(f.Words)
+		q.processData(f)
 		any = true
 	}
 }
 
-// processData walks the envelopes of a data frame, dispatching records for
-// this PE and re-buffering records to forward (proxy role).
-func (q *Queue) processData(words []uint64) {
+// processData decodes a byte data frame record by record, dispatching
+// records for this PE and re-buffering records to forward (proxy role —
+// forwarded payloads rejoin the raw buffers and are re-encoded with the same
+// codec on the next flush). Decoded payloads land in a per-frame arena, so
+// handler payload slices stay valid after dispatch exactly like the raw
+// frame words they used to alias.
+func (q *Queue) processData(f transport.Frame) {
 	q.recv++
 	q.c.M.RecvFrames++
-	q.c.M.RecvWords += int64(len(words))
+	b := f.Bytes
+	if b == nil {
+		panic("comm: data frame without byte framing")
+	}
 	me := q.c.Rank()
-	i := 1 // skip tag word
-	for i < len(words) {
-		finalDst := int(words[i])
-		origSrc := int(words[i+1])
-		ch := int(words[i+2])
-		n := int(words[i+3])
-		payload := words[i+4 : i+4+n]
-		i += envHdr + n
-		if finalDst == me {
-			q.dispatch(ch, origSrc, payload)
+	rawWords := int64(1) // tag word
+	var arena []uint64
+	pos := 8 // skip tag bytes
+	for pos < len(b) {
+		finalDst, n1 := binary.Uvarint(b[pos:])
+		origSrc, n2 := binary.Uvarint(b[pos+n1:])
+		ch, n3 := binary.Uvarint(b[pos+n1+n2:])
+		encLen, n4 := binary.Uvarint(b[pos+n1+n2+n3:])
+		if n1 <= 0 || n2 <= 0 || n3 <= 0 || n4 <= 0 {
+			panic("comm: truncated data-frame envelope")
+		}
+		pos += n1 + n2 + n3 + n4
+		if ch >= MaxChannels || pos+int(encLen) > len(b) {
+			panic(fmt.Sprintf("comm: corrupt data-frame envelope (ch=%d, len=%d)", ch, encLen))
+		}
+		enc := b[pos : pos+int(encLen)]
+		pos += int(encLen)
+		start := len(arena)
+		var err error
+		arena, err = q.codecs[ch].AppendDecoded(arena, enc)
+		if err != nil {
+			panic(fmt.Sprintf("comm: decode channel %d: %v", ch, err))
+		}
+		// Cap the slice so a handler appending to its payload cannot
+		// clobber records decoded after it.
+		payload := arena[start:len(arena):len(arena)]
+		rawWords += envHdr + int64(len(payload))
+		if int(finalDst) == me {
+			q.dispatch(int(ch), int(origSrc), payload)
 		} else {
 			// Proxy hop: re-aggregate toward the final destination.
-			q.append(finalDst, finalDst, origSrc, ch, payload)
+			q.append(int(finalDst), int(finalDst), int(origSrc), int(ch), payload)
 		}
 	}
+	q.c.M.RecvWords += rawWords
 }
 
 func (q *Queue) dispatch(ch, src int, payload []uint64) {
@@ -221,8 +308,8 @@ func (q *Queue) drainCoordinator() {
 				runtime.Gosched()
 				continue
 			}
-			if f.Words[0]&kindMask == kindData {
-				q.processData(f.Words)
+			if tagOf(f)&kindMask == kindData {
+				q.processData(f)
 				q.Flush()
 				continue
 			}
@@ -252,9 +339,9 @@ func (q *Queue) drainWorker() {
 			runtime.Gosched()
 			continue
 		}
-		switch f.Words[0] & kindMask {
+		switch tagOf(f) & kindMask {
 		case kindData:
-			q.processData(f.Words)
+			q.processData(f)
 		case kindProbe:
 			// Flush before reporting, so buffered forwards are visible in the
 			// counters (otherwise the protocol could terminate early).

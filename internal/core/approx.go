@@ -73,10 +73,10 @@ func RunApproxCetric(g *graph.Graph, cfg Config, acfg AMQConfig) (*ApproxResult,
 	}
 	threshold := cfg.Threshold
 	if threshold <= 0 {
-		threshold = 2 * g.NumEdges() / cfg.P
-		if threshold < 1024 {
-			threshold = 1024
-		}
+		threshold = DefaultThreshold(g.NumEdges(), cfg.P)
+	}
+	if _, err := channelCodecs(cfg.Codec); err != nil {
+		return nil, err
 	}
 	perEdges := graph.ScatterEdges(pt, g.Edges())
 
@@ -85,6 +85,9 @@ func RunApproxCetric(g *graph.Graph, cfg Config, acfg AMQConfig) (*ApproxResult,
 	metrics, err := dist.Run(dist.Config{
 		P: cfg.P, Threshold: threshold, Indirect: cfg.Indirect, Network: cfg.Network,
 	}, func(pe *dist.PE) error {
+		if err := applyCodecs(pe.Q, cfg.Codec); err != nil {
+			return err
+		}
 		out := &approxOutcome{}
 		outcomes[pe.Rank] = out
 		return approxCetricBody(pe, pt, perEdges[pe.Rank], cfg, acfg, out)

@@ -72,6 +72,8 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	cut = ori.Contract()
 
 	sw.phase(PhaseGlobal)
+	// Cut neighborhoods go out as (v, A(v)...) records with A(v) ID-sorted —
+	// the shape the chNeigh delta-varint codec compresses best.
 	buf := make([]uint64, 0, 256)
 	for r := 0; r < lg.NLocal(); r++ {
 		v := lg.GID(int32(r))

@@ -85,7 +85,7 @@ func TestDistributedLCCMatchesSequential(t *testing.T) {
 func TestDistributedEnumerationMatchesSequential(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(7, 3))
 	want := make(map[[3]graph.Vertex]bool)
-	SeqEnumerate(g, func(v, u, w graph.Vertex) { want[canonTriangle(v, u, w)] = true })
+	SeqEnumerate(g, func(v, u, w graph.Vertex) { want[CanonTriangle(v, u, w)] = true })
 	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric, AlgoCetric2} {
 		for _, p := range []int{2, 5} {
 			res, err := Run(algo, g, Config{P: p, Collect: true})

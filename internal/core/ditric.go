@@ -10,7 +10,9 @@ import (
 // distributed EDGE ITERATOR with degree orientation, dynamic message
 // aggregation, the surrogate dedup of Arifuzzaman et al. (each A(v) sent at
 // most once per destination PE), and — when the queue routes through the
-// grid — indirect delivery (DITRIC2).
+// grid — indirect delivery (DITRIC2). The chNeigh/chNeighEdge records ship
+// ID-sorted A-lists, which the channel's delta-varint wire codec compresses
+// at flush time (codec.go); the body itself is codec-agnostic.
 func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
 	sw := newStopwatch(pe.C, out)
 	sw.phase(PhasePreprocess)

@@ -38,10 +38,10 @@ func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
 	threshold := cfg.Threshold
 	if threshold <= 0 {
 		// δ ∈ O(|E_i|): memory per PE stays linear in the local input.
-		threshold = 2 * g.NumEdges() / cfg.P
-		if threshold < 1024 {
-			threshold = 1024
-		}
+		threshold = DefaultThreshold(g.NumEdges(), cfg.P)
+	}
+	if _, err := channelCodecs(cfg.Codec); err != nil {
+		return nil, err
 	}
 	indirect := cfg.Indirect
 	body, indirectDefault, err := bodyFor(algo)
@@ -59,6 +59,9 @@ func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
 	metrics, err := dist.Run(dist.Config{
 		P: cfg.P, Threshold: threshold, Indirect: indirect, Network: cfg.Network,
 	}, func(pe *dist.PE) error {
+		if err := applyCodecs(pe.Q, cfg.Codec); err != nil {
+			return err
+		}
 		out := newPEOutcome()
 		outcomes[pe.Rank] = out
 		return body(pe, pt, perEdges[pe.Rank], cfg, out)
@@ -89,12 +92,12 @@ func RunRank(algo Algorithm, g *graph.Graph, cfg Config, ep transport.Endpoint) 
 	}
 	threshold := cfg.Threshold
 	if threshold <= 0 {
-		threshold = 2 * g.NumEdges() / cfg.P
-		if threshold < 1024 {
-			threshold = 1024
-		}
+		threshold = DefaultThreshold(g.NumEdges(), cfg.P)
 	}
 	pe := dist.Attach(ep, threshold, cfg.Indirect || indirectDefault)
+	if err := applyCodecs(pe.Q, cfg.Codec); err != nil {
+		return 0, comm.Metrics{}, err
+	}
 	edges := graph.ScatterEdges(pt, g.Edges())[pe.Rank]
 	out := newPEOutcome()
 	if err := body(pe, pt, edges, cfg, out); err != nil {

@@ -77,9 +77,10 @@ func NaiveCount(g *graph.Graph) uint64 {
 	return count / 3 // every triangle seen from each of its three corners
 }
 
-// canonTriangle orders a triangle's corners ascending by vertex ID so sets
-// of triangles can be compared in tests.
-func canonTriangle(a, b, c graph.Vertex) [3]graph.Vertex {
+// CanonTriangle orders a triangle's corners ascending by vertex ID — the
+// canonical form for comparing, collecting, and enumerating triangles (also
+// used by the public tricount.Enumerate).
+func CanonTriangle(a, b, c graph.Vertex) [3]graph.Vertex {
 	t := [3]graph.Vertex{a, b, c}
 	slices.Sort(t[:])
 	return t

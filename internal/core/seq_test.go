@@ -79,7 +79,7 @@ func TestSeqEnumerateEmitsEachTriangleOnce(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(7, 9))
 	seen := make(map[[3]graph.Vertex]int)
 	SeqEnumerate(g, func(v, u, w graph.Vertex) {
-		seen[canonTriangle(v, u, w)]++
+		seen[CanonTriangle(v, u, w)]++
 	})
 	want := SeqCount(g)
 	if uint64(len(seen)) != want {

@@ -8,7 +8,9 @@ import (
 	"repro/internal/graph"
 )
 
-// Queue channels used by the distributed algorithms.
+// Queue channels used by the distributed algorithms. Each channel's record
+// shape determines its tuned wire codec under the "auto" policy — see
+// channelCodecs in codec.go for the assignment and rationale.
 const (
 	chNeigh  = 0 // (v, A(v)) neighborhood shipments
 	chDelta  = 1 // (gid, Δ) ghost triangle-count aggregation (LCC)
@@ -56,7 +58,7 @@ func (s *countState) add(v, u, w graph.Vertex) {
 		s.deltaRows[s.lg.Row(w)]++
 	}
 	if s.collect {
-		s.triangles = append(s.triangles, canonTriangle(v, u, w))
+		s.triangles = append(s.triangles, CanonTriangle(v, u, w))
 	}
 }
 

@@ -52,6 +52,13 @@ type Config struct {
 	Indirect  bool // grid-based indirect delivery (the "2" variants)
 	Threads   int  // >1 enables the hybrid local/global phases (DITRIC/CETRIC)
 
+	// Codec selects the wire codec policy for the queue channels: "auto"
+	// (or empty — tuned per-channel codecs, delta-varint on adjacency
+	// shipments), or "raw" / "varint" / "deltavarint" to force one codec
+	// everywhere. See codec.go for the per-channel rationale. The choice
+	// never changes any count — only Metrics.EncodedBytes.
+	Codec string
+
 	// Partition overrides the default uniform 1D partition.
 	Partition *part.Partition
 	// SparseDegreeExchange uses the asynchronous sparse all-to-all for the

@@ -35,9 +35,20 @@ var (
 func Profiles() []Profile { return []Profile{Supercomputer, Cloud, WAN} }
 
 // Time returns the modeled communication time of one PE's traffic:
-// α·messages + β·words.
+// α·messages + β·words. Words are the pre-encoding volume, so this is the
+// paper's original lens, independent of the wire codec in use.
 func (p Profile) Time(m comm.Metrics) time.Duration {
 	s := p.Alpha*float64(m.SentFrames) + p.Beta*float64(m.SentWords)
+	return time.Duration(s * float64(time.Second))
+}
+
+// TimeWire returns the modeled communication time of the traffic that
+// actually crossed the wire: α·messages + (β/8)·encoded bytes. β is
+// per-word (8 bytes), so β/8 is the matching per-byte transfer time. The
+// gap between Time and TimeWire is the α+β value of the codec layer's
+// compression.
+func (p Profile) TimeWire(m comm.Metrics) time.Duration {
+	s := p.Alpha*float64(m.SentFrames) + p.Beta/8*float64(m.EncodedBytes)
 	return time.Duration(s * float64(time.Second))
 }
 
@@ -47,6 +58,17 @@ func Bottleneck(per []comm.Metrics, p Profile) time.Duration {
 	var worst time.Duration
 	for _, m := range per {
 		if t := p.Time(m); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// BottleneckWire is Bottleneck under TimeWire (encoded bytes on the wire).
+func BottleneckWire(per []comm.Metrics, p Profile) time.Duration {
+	var worst time.Duration
+	for _, m := range per {
+		if t := p.TimeWire(m); t > worst {
 			worst = t
 		}
 	}

@@ -85,6 +85,13 @@ func (e abortableEndpoint) Send(dst int, words []uint64) error {
 	return e.Endpoint.Send(dst, words)
 }
 
+func (e abortableEndpoint) SendBytes(dst int, b []byte) error {
+	if e.aborted.Load() {
+		panic(errAborted)
+	}
+	return e.Endpoint.SendBytes(dst, b)
+}
+
 func (e abortableEndpoint) Recv() (transport.Frame, bool) {
 	if e.aborted.Load() {
 		panic(errAborted)
@@ -188,6 +195,18 @@ func Modeled(per []comm.Metrics) map[string]time.Duration {
 	out := make(map[string]time.Duration, len(costmodel.Profiles()))
 	for _, prof := range costmodel.Profiles() {
 		out[prof.Name] = costmodel.Bottleneck(per, prof)
+	}
+	return out
+}
+
+// ModeledWire is Modeled over the codec-encoded wire bytes instead of the
+// raw machine words: the α+β time the same run would take once the codec
+// layer's compression is accounted for. Comparing the two maps per profile
+// shows how much of the interconnect bill the wire codecs pay.
+func ModeledWire(per []comm.Metrics) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(costmodel.Profiles()))
+	for _, prof := range costmodel.Profiles() {
+		out[prof.Name] = costmodel.BottleneckWire(per, prof)
 	}
 	return out
 }

@@ -58,6 +58,13 @@ func (e *chanEndpoint) Send(dst int, words []uint64) error {
 	return e.net.eps[dst].push(Frame{Src: e.rank, Words: words})
 }
 
+func (e *chanEndpoint) SendBytes(dst int, b []byte) error {
+	if dst < 0 || dst >= len(e.net.eps) {
+		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", dst, len(e.net.eps))
+	}
+	return e.net.eps[dst].push(Frame{Src: e.rank, Bytes: b})
+}
+
 func (e *chanEndpoint) push(f Frame) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -13,7 +13,11 @@ import (
 // TCPEndpoint attaches one PE to a cluster over TCP. Every endpoint listens
 // on its own address and lazily dials peers on first send. Wire format per
 // connection: an 8-byte handshake carrying the dialer's rank, then frames of
-// [8-byte word count][count × 8-byte little-endian words].
+// [8-byte header][payload]. The header's top bit distinguishes the two
+// frame shapes: clear means a word frame (low bits = word count, payload is
+// count × 8-byte little-endian words), set means a byte frame (low bits =
+// byte count, payload shipped verbatim — this is how codec-encoded data
+// frames reach the wire without re-serialization).
 //
 // Received frames land in the same unbounded inbox structure the in-process
 // transport uses, so everything above the transport behaves identically.
@@ -94,6 +98,9 @@ func (e *TCPEndpoint) acceptLoop() {
 	}
 }
 
+// tcpBytesFlag marks a byte frame in the length header's top bit.
+const tcpBytesFlag = uint64(1) << 63
+
 func (e *TCPEndpoint) readLoop(c net.Conn) {
 	defer e.wg.Done()
 	defer c.Close()
@@ -107,27 +114,44 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
 			return
 		}
-		n := binary.LittleEndian.Uint64(hdr[:])
-		if n > 1<<30 {
+		h := binary.LittleEndian.Uint64(hdr[:])
+		n := h &^ tcpBytesFlag
+		// Sanity cap at 8 GiB per frame for both shapes (n counts words for
+		// word frames, bytes for byte frames — byte frames get the larger
+		// count so an encoded frame never hits a tighter limit than its raw
+		// equivalent would have).
+		if h&tcpBytesFlag == 0 && n > 1<<30 || n > 8<<30 {
 			return // corrupt length; drop the connection
 		}
-		if uint64(cap(buf)) < 8*n {
-			buf = make([]byte, 8*n)
-		}
-		buf = buf[:8*n]
-		if _, err := io.ReadFull(c, buf); err != nil {
-			return
-		}
-		words := make([]uint64, n)
-		for i := range words {
-			words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		var f Frame
+		if h&tcpBytesFlag != 0 {
+			// Byte frame: the payload is retained by the receiver, so it
+			// needs its own allocation.
+			data := make([]byte, n)
+			if _, err := io.ReadFull(c, data); err != nil {
+				return
+			}
+			f = Frame{Src: src, Bytes: data}
+		} else {
+			if uint64(cap(buf)) < 8*n {
+				buf = make([]byte, 8*n)
+			}
+			buf = buf[:8*n]
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return
+			}
+			words := make([]uint64, n)
+			for i := range words {
+				words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+			}
+			f = Frame{Src: src, Words: words}
 		}
 		e.inMu.Lock()
 		if e.closed {
 			e.inMu.Unlock()
 			return
 		}
-		e.queue = append(e.queue, Frame{Src: src, Words: words})
+		e.queue = append(e.queue, f)
 		e.inMu.Unlock()
 	}
 }
@@ -159,6 +183,32 @@ func (e *TCPEndpoint) Send(dst int, words []uint64) error {
 	for i, w := range words {
 		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
 	}
+	return e.write(tc, dst, buf)
+}
+
+// SendBytes ships an already-serialized byte frame; the payload bytes go on
+// the wire verbatim behind the length header.
+func (e *TCPEndpoint) SendBytes(dst int, b []byte) error {
+	if dst == e.rank {
+		e.inMu.Lock()
+		defer e.inMu.Unlock()
+		if e.closed {
+			return errors.New("transport: endpoint closed")
+		}
+		e.queue = append(e.queue, Frame{Src: e.rank, Bytes: b})
+		return nil
+	}
+	tc, err := e.conn(dst)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(b))
+	binary.LittleEndian.PutUint64(buf, uint64(len(b))|tcpBytesFlag)
+	copy(buf[8:], b)
+	return e.write(tc, dst, buf)
+}
+
+func (e *TCPEndpoint) write(tc *tcpConn, dst int, buf []byte) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if _, err := tc.c.Write(buf); err != nil {

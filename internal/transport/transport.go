@@ -8,15 +8,22 @@
 // communication metering, zero serialization) and a TCP network (stdlib net)
 // for genuine multi-process clusters.
 //
-// Frames are slices of machine words ([]uint64) because the paper's cost
-// model and all its volume measurements are in machine words. Send transfers
-// ownership of the slice to the transport; the caller must not reuse it.
+// Two frame shapes travel the network. Word frames ([]uint64) carry control
+// and collective traffic, matching the paper's cost model, which measures in
+// machine words. Byte frames ([]byte) carry codec-encoded data traffic: the
+// communication layer above encodes record payloads (delta/varint
+// compression of adjacency rows), and the transport ships the resulting
+// bytes verbatim — the TCP transport in particular puts them on the wire
+// without any further conversion. Send and SendBytes transfer ownership of
+// the slice to the transport; the caller must not reuse it.
 package transport
 
-// Frame is one delivered message.
+// Frame is one delivered message. Exactly one of Words and Bytes is non-nil,
+// depending on whether the frame was shipped with Send or SendBytes.
 type Frame struct {
 	Src   int
 	Words []uint64
+	Bytes []byte
 }
 
 // Endpoint is one PE's attachment to the network.
@@ -29,6 +36,10 @@ type Endpoint interface {
 	// receiver (asynchronous send with unbounded buffering, like a buffered
 	// MPI_Isend). Ownership of words passes to the transport.
 	Send(dst int, words []uint64) error
+	// SendBytes queues an already-serialized byte frame for delivery to
+	// dst, with the same asynchronous contract as Send. Ownership of b
+	// passes to the transport.
+	SendBytes(dst int, b []byte) error
 	// Recv returns the next pending frame without blocking; ok is false if
 	// none is pending.
 	Recv() (f Frame, ok bool)

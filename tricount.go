@@ -82,7 +82,24 @@ type Options struct {
 	// SparseDegreeExchange uses the asynchronous sparse all-to-all for the
 	// ghost-degree exchange.
 	SparseDegreeExchange bool
+	// Codec selects the wire codec policy for message payloads. The empty
+	// string (or CodecAuto) picks tuned per-channel codecs: sorted
+	// adjacency shipments travel delta+varint compressed, small-integer
+	// records as varints, high-entropy Bloom/float words raw. CodecRaw
+	// restores the uncompressed seed wire format; CodecVarint and
+	// CodecDeltaVarint force one codec onto every channel. The policy only
+	// changes bytes on the wire (Result.Agg.TotalEncodedBytes vs
+	// TotalRawBytes), never any count.
+	Codec string
 }
+
+// Wire codec policies for Options.Codec.
+const (
+	CodecAuto        = core.CodecAuto
+	CodecRaw         = core.CodecRaw
+	CodecVarint      = core.CodecVarint
+	CodecDeltaVarint = core.CodecDeltaVarint
+)
 
 // Result is re-exported from the core engine; see core.Result for the full
 // field documentation (count, per-type counts, Δ/LCC vectors, per-PE
@@ -98,6 +115,7 @@ func (o Options) toConfig() core.Config {
 		LCC:                  o.LCC,
 		Partition:            o.Partition,
 		SparseDegreeExchange: o.SparseDegreeExchange,
+		Codec:                o.Codec,
 	}
 }
 
@@ -128,17 +146,8 @@ func LCC(g *Graph, algo Algorithm, opt Options) ([]float64, *Result, error) {
 // using the sequential counter.
 func Enumerate(g *Graph, fn func(a, b, c Vertex)) {
 	core.SeqEnumerate(g, func(v, u, w Vertex) {
-		a, b, c := v, u, w
-		if a > b {
-			a, b = b, a
-		}
-		if b > c {
-			b, c = c, b
-		}
-		if a > b {
-			a, b = b, a
-		}
-		fn(a, b, c)
+		t := core.CanonTriangle(v, u, w)
+		fn(t[0], t[1], t[2])
 	})
 }
 
