@@ -217,8 +217,10 @@ func BenchmarkAblationDegreeExchange(b *testing.B) {
 	}
 }
 
-// BenchmarkIntersect: the set-intersection kernel (merge vs adaptive
-// galloping), the innermost loop of every algorithm.
+// BenchmarkIntersect: every set-intersection kernel (plain merge, branchless
+// merge, galloping, hub bitmap, and the adaptive dispatcher) across operand
+// skew ratios from 1:1 to 1:1024 — the innermost loop of every algorithm.
+// Run with -benchmem: all kernels are allocation-free.
 func BenchmarkIntersect(b *testing.B) {
 	mk := func(n int, stride uint64) []graph.Vertex {
 		out := make([]graph.Vertex, n)
@@ -227,29 +229,42 @@ func BenchmarkIntersect(b *testing.B) {
 		}
 		return out
 	}
-	balanced := [2][]graph.Vertex{mk(1024, 3), mk(1024, 5)}
-	skewed := [2][]graph.Vertex{mk(16, 97), mk(4096, 3)}
-	b.Run("merge/balanced", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			graph.CountMerge(balanced[0], balanced[1])
+	const large = 4096
+	big := mk(large, 3)
+	// The bitmap kernel tests list membership against a prebuilt bitset of
+	// the large side, as the hub index does for heavy A-lists.
+	bits := graph.NewBitset(large*3 + 1)
+	bits.SetList(big)
+	kernels := []struct {
+		name string
+		run  func(small []graph.Vertex) uint64
+	}{
+		{"merge", func(s []graph.Vertex) uint64 { return graph.CountMerge(s, big) }},
+		{"branchless", func(s []graph.Vertex) uint64 { return graph.CountMergeBranchless(s, big) }},
+		{"gallop", func(s []graph.Vertex) uint64 { return graph.CountGallop(s, big) }},
+		{"bitmap", func(s []graph.Vertex) uint64 { return bits.CountList(s) }},
+		{"adaptive", func(s []graph.Vertex) uint64 { return graph.CountIntersect(s, big) }},
+	}
+	for _, skew := range []int{1, 4, 16, 64, 256, 1024} {
+		// The small side subsamples the large side's domain so every kernel
+		// (including the bitmap, whose domain is the large side's range)
+		// probes in-range values.
+		small := mk(large/skew, 3*uint64(skew))
+		for _, k := range kernels {
+			b.Run(fmt.Sprintf("%s/skew=1:%d", k.name, skew), func(b *testing.B) {
+				b.ReportAllocs()
+				var sink uint64
+				for i := 0; i < b.N; i++ {
+					sink += k.run(small)
+				}
+				benchSink = sink
+			})
 		}
-	})
-	b.Run("adaptive/balanced", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			graph.CountIntersect(balanced[0], balanced[1])
-		}
-	})
-	b.Run("merge/skewed", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			graph.CountMerge(skewed[0], skewed[1])
-		}
-	})
-	b.Run("adaptive/skewed", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			graph.CountIntersect(skewed[0], skewed[1])
-		}
-	})
+	}
 }
+
+// benchSink defeats dead-code elimination of pure kernel calls.
+var benchSink uint64
 
 // BenchmarkSequential: the single-core EDGE ITERATOR baseline.
 func BenchmarkSequential(b *testing.B) {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/transport"
+)
+
+// queueSteadyStateAllocs measures allocs/op of the aggregated flush +
+// receive path between two PEs after warmup (the same shape as
+// comm.BenchmarkQueueFlushSteadyState): per-destination word buffers, byte
+// frames, and decode arenas are all pooled, so the steady state must report
+// zero.
+func queueSteadyStateAllocs() int64 {
+	net := transport.NewChanNetwork(2)
+	defer net.Close()
+	ep0, _ := net.Endpoint(0)
+	ep1, _ := net.Endpoint(1)
+	sender := comm.NewQueue(comm.New(ep0), 1<<20, nil)
+	sender.SetCodec(0, comm.DeltaVarint)
+	recvQ := comm.NewQueue(comm.New(ep1), 1<<20, nil)
+	recvQ.SetCodec(0, comm.DeltaVarint)
+	var processed atomic.Int64
+	recvQ.Handle(0, func(int, []uint64) { processed.Add(1) })
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			if !recvQ.Poll() {
+				runtime.Gosched()
+			}
+		}
+		recvQ.Poll()
+	}()
+
+	payload := []uint64{100, 103, 104, 110, 117, 125, 126, 140}
+	const burst = 64
+	var sent int64
+	round := func() {
+		for k := 0; k < burst; k++ {
+			sender.Send(0, 1, payload)
+		}
+		sender.Flush()
+		sent += burst
+		for processed.Load() < sent {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 16; i++ {
+		round()
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			round()
+		}
+	})
+	stop.Store(true)
+	<-done
+	return res.AllocsPerOp()
+}

@@ -58,6 +58,7 @@ func run() error {
 		sparse    = flag.Bool("sparse-degree", false, "sparse ghost degree exchange")
 		partBy    = flag.String("partition", "uniform", "1D partitioner: uniform|degree|wedges")
 		codec     = flag.String("codec", "auto", "wire codec policy: auto|raw|varint|deltavarint")
+		hub       = flag.Int("hub", 0, "hub-bitmap threshold: min |A(v)| for a packed bitmap (0 = default, <0 = off)")
 
 		approx = flag.Bool("approx", false, "AMQ-approximate type-3 counting (CETRIC)")
 		bits   = flag.Float64("bits", 8, "Bloom filter bits per key for -approx")
@@ -96,6 +97,7 @@ func run() error {
 	cfg := core.Config{
 		P: *p, Threshold: *threshold, Threads: *threads,
 		LCC: *lcc, SparseDegreeExchange: *sparse, Codec: *codec,
+		HubThreshold: *hub,
 	}
 	switch *partBy {
 	case "uniform":

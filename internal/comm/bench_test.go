@@ -2,7 +2,9 @@ package comm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/transport"
@@ -60,6 +62,68 @@ func BenchmarkQueueAllToAll(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkQueueFlushSteadyState is the allocation-regression gate for the
+// wire side: one op is a burst of aggregated records, a Flush, and the full
+// receive path on the peer (decode into the pooled arena, dispatch, recycle
+// the frame). After the warmup rounds populate the per-destination buffers
+// and the frame/arena pools, the path must report 0 allocs/op.
+func BenchmarkQueueFlushSteadyState(b *testing.B) {
+	net := transport.NewChanNetwork(2)
+	defer net.Close()
+	eps := make([]transport.Endpoint, 2)
+	for rank := range eps {
+		ep, err := net.Endpoint(rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eps[rank] = ep
+	}
+	sender := NewQueue(New(eps[0]), 1<<20, nil)
+	sender.SetCodec(0, DeltaVarint)
+	recvQ := NewQueue(New(eps[1]), 1<<20, nil)
+	recvQ.SetCodec(0, DeltaVarint)
+	var processed atomic.Int64
+	recvQ.Handle(0, func(int, []uint64) { processed.Add(1) })
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			if !recvQ.Poll() {
+				runtime.Gosched()
+			}
+		}
+		recvQ.Poll()
+	}()
+
+	payload := []uint64{100, 103, 104, 110, 117, 125, 126, 140}
+	const burst = 64
+	var sent int64
+	round := func() {
+		for k := 0; k < burst; k++ {
+			sender.Send(0, 1, payload)
+		}
+		sender.Flush()
+		sent += burst
+		for processed.Load() < sent {
+			// Lock-step with the receiver so its inbox cannot grow.
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 16; i++ {
+		round() // warmup: grow buffers, fill pools
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	<-done
 }
 
 // BenchmarkDrainIdle measures the fixed cost of the termination protocol.

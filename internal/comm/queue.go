@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/transport"
 )
@@ -38,6 +40,10 @@ type Queue struct {
 	grid      *Grid // nil => direct delivery
 	threshold int   // δ in words
 
+	// bufs holds one aggregation buffer per next-hop destination. Buffers
+	// are retained (truncated to the tag word) across flushes — the
+	// per-destination free list that makes steady-state flushing
+	// allocation-free.
 	bufs     map[int][]uint64
 	buffered int
 	handlers [MaxChannels]Handler
@@ -45,11 +51,75 @@ type Queue struct {
 
 	encScratch []byte // per-record encode buffer, reused across flushes
 
+	// Decode arenas, recycled across frames. curArena is the arena of the
+	// frame currently being dispatched (nil outside processData); handlers
+	// that hand payload slices to other goroutines pin it via PinPayload.
+	arenaMu   sync.Mutex
+	arenaFree []*wordArena
+	curArena  *wordArena
+
 	// Termination counters (data frames only).
 	sent int64
 	recv int64
 
 	round uint64 // coordinator probe round
+}
+
+// wordArena is one reusable decode buffer. refs counts the frame dispatch in
+// flight plus every pinned payload; the arena returns to the queue's free
+// list when it drops to zero.
+type wordArena struct {
+	words   []uint64
+	refs    atomic.Int32
+	release func()
+}
+
+// maxPooledArenas caps the arena free list (a backstop; in steady state at
+// most a handful are in flight).
+const maxPooledArenas = 64
+
+func (q *Queue) getArena() *wordArena {
+	q.arenaMu.Lock()
+	var ar *wordArena
+	if k := len(q.arenaFree); k > 0 {
+		ar = q.arenaFree[k-1]
+		q.arenaFree = q.arenaFree[:k-1]
+	}
+	q.arenaMu.Unlock()
+	if ar == nil {
+		a := &wordArena{}
+		a.release = func() {
+			if a.refs.Add(-1) == 0 {
+				q.arenaMu.Lock()
+				if len(q.arenaFree) < maxPooledArenas {
+					q.arenaFree = append(q.arenaFree, a)
+				}
+				q.arenaMu.Unlock()
+			}
+		}
+		ar = a
+	}
+	ar.words = ar.words[:0]
+	ar.refs.Store(1)
+	return ar
+}
+
+var releaseNop = func() {}
+
+// PinPayload extends the lifetime of the payload slice the current handler
+// invocation received: handler payloads alias a pooled decode arena and are
+// only valid during the handler call, unless pinned. It must be called from
+// inside a handler; the returned release function (safe to call from any
+// goroutine) gives the arena back once the payload is no longer needed.
+// Payloads delivered locally (Send to self) alias the sender's buffer and
+// need no pin; a no-op release is returned for them.
+func (q *Queue) PinPayload() func() {
+	ar := q.curArena
+	if ar == nil {
+		return releaseNop
+	}
+	ar.refs.Add(1)
+	return ar.release
 }
 
 // envelope header: [finalDst, origSrc, channel, payloadLen]
@@ -115,7 +185,14 @@ func (q *Queue) Send(ch, dst int, payload []uint64) {
 	me := q.c.Rank()
 	q.c.M.PayloadWords += int64(len(payload))
 	if dst == me {
+		// Local dispatch passes the caller's slice, not a decode arena — if
+		// this Send happens inside a handler (mid-processData), curArena must
+		// not leak into the nested dispatch, or PinPayload would pin the
+		// outer frame's arena without protecting this payload at all.
+		prev := q.curArena
+		q.curArena = nil
 		q.dispatch(ch, me, payload)
+		q.curArena = prev
 		return
 	}
 	hop := dst
@@ -130,6 +207,8 @@ func (q *Queue) Send(ch, dst int, payload []uint64) {
 func (q *Queue) append(hop, finalDst, origSrc, ch int, payload []uint64) {
 	buf := q.bufs[hop]
 	if buf == nil {
+		// First record for this hop ever; the buffer is retained (truncated
+		// to the tag word) across flushes from here on.
 		buf = make([]uint64, 1, 1+envHdr+len(payload))
 		buf[0] = tag(kindData, 0)
 	}
@@ -150,9 +229,10 @@ func (q *Queue) append(hop, finalDst, origSrc, ch int, payload []uint64) {
 }
 
 // Flush encodes every non-empty buffer with the per-channel codecs and sends
-// the resulting byte frame to its next hop, installing fresh buffers (the
-// double-buffer swap: records keep aggregating in raw words while encoded
-// frames travel).
+// the resulting byte frame to its next hop. Word buffers are fully encoded
+// into pooled byte frames before the send, so they are truncated and reused
+// in place (the free-list variant of the paper's double-buffer swap: records
+// keep aggregating in raw words while encoded frames travel).
 func (q *Queue) Flush() {
 	if q.buffered == 0 {
 		return
@@ -168,7 +248,7 @@ func (q *Queue) Flush() {
 		if err := q.c.sendDataBytes(hop, frame, len(buf)); err != nil {
 			panic(fmt.Sprintf("comm: flush to %d: %v", hop, err))
 		}
-		delete(q.bufs, hop)
+		q.bufs[hop] = buf[:1] // retain tag + capacity for the next cycle
 	}
 	q.buffered = 0
 }
@@ -176,9 +256,10 @@ func (q *Queue) Flush() {
 // encodeFrame serializes one raw word buffer ([tag, envelopes+payloads...])
 // into a wire byte frame: the 8-byte tag, then per record the envelope as
 // uvarints (finalDst, origSrc, channel, encoded byte length) followed by the
-// payload encoded with its channel's codec.
+// payload encoded with its channel's codec. The frame comes from the
+// transport buffer pool; ownership passes on with the send.
 func (q *Queue) encodeFrame(buf []uint64) []byte {
-	out := make([]byte, 8, 8+8*(len(buf)-1))
+	out := transport.GetBuf(8 + 8*(len(buf)-1))[:8]
 	binary.LittleEndian.PutUint64(out, buf[0])
 	i := 1
 	for i < len(buf) {
@@ -214,9 +295,11 @@ func (q *Queue) Poll() bool {
 // processData decodes a byte data frame record by record, dispatching
 // records for this PE and re-buffering records to forward (proxy role —
 // forwarded payloads rejoin the raw buffers and are re-encoded with the same
-// codec on the next flush). Decoded payloads land in a per-frame arena, so
-// handler payload slices stay valid after dispatch exactly like the raw
-// frame words they used to alias.
+// codec on the next flush). Decoded payloads land in a pooled per-frame
+// arena: handler payload slices are valid for the duration of the handler
+// call, and a handler that hands them to another goroutine must pin the
+// arena with PinPayload. The frame bytes themselves return to the transport
+// buffer pool once the frame is fully decoded.
 func (q *Queue) processData(f transport.Frame) {
 	q.recv++
 	q.c.M.RecvFrames++
@@ -226,7 +309,8 @@ func (q *Queue) processData(f transport.Frame) {
 	}
 	me := q.c.Rank()
 	rawWords := int64(1) // tag word
-	var arena []uint64
+	ar := q.getArena()
+	prev := q.curArena
 	pos := 8 // skip tag bytes
 	for pos < len(b) {
 		finalDst, n1 := binary.Uvarint(b[pos:])
@@ -242,24 +326,29 @@ func (q *Queue) processData(f transport.Frame) {
 		}
 		enc := b[pos : pos+int(encLen)]
 		pos += int(encLen)
-		start := len(arena)
+		start := len(ar.words)
 		var err error
-		arena, err = q.codecs[ch].AppendDecoded(arena, enc)
+		ar.words, err = q.codecs[ch].AppendDecoded(ar.words, enc)
 		if err != nil {
 			panic(fmt.Sprintf("comm: decode channel %d: %v", ch, err))
 		}
 		// Cap the slice so a handler appending to its payload cannot
 		// clobber records decoded after it.
-		payload := arena[start:len(arena):len(arena)]
+		payload := ar.words[start:len(ar.words):len(ar.words)]
 		rawWords += envHdr + int64(len(payload))
 		if int(finalDst) == me {
+			q.curArena = ar
 			q.dispatch(int(ch), int(origSrc), payload)
+			q.curArena = prev
 		} else {
-			// Proxy hop: re-aggregate toward the final destination.
+			// Proxy hop: re-aggregate toward the final destination (copies
+			// the payload into the hop's word buffer).
 			q.append(int(finalDst), int(finalDst), int(origSrc), int(ch), payload)
 		}
 	}
 	q.c.M.RecvWords += rawWords
+	ar.release()
+	transport.PutBuf(b)
 }
 
 func (q *Queue) dispatch(ch, src int, payload []uint64) {

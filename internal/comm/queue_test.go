@@ -226,6 +226,141 @@ func TestQueuePayloadConservation(t *testing.T) {
 	}
 }
 
+func TestQueueBufferReuseAcrossFlushCycles(t *testing.T) {
+	// Per-destination buffers are retained (truncated to the tag word) after
+	// every flush; many flush cycles with distinct payloads must still
+	// deliver every record intact and exactly once.
+	const p = 4
+	const rounds = 50
+	sums := make([]uint64, p)
+	counts := make([]int, p)
+	runCluster(t, p, 1, false, func(rank int, c *Comm, q *Queue) { // threshold 1: flush every record
+		q.Handle(0, func(src int, words []uint64) {
+			sums[rank] += words[0]
+			counts[rank]++
+		})
+		c.Barrier()
+		for r := 0; r < rounds; r++ {
+			for dst := 0; dst < p; dst++ {
+				if dst != rank {
+					q.Send(0, dst, []uint64{uint64(rank*rounds + r)})
+				}
+			}
+		}
+		q.Drain()
+	})
+	for rank := 0; rank < p; rank++ {
+		if counts[rank] != (p-1)*rounds {
+			t.Fatalf("PE %d got %d records, want %d", rank, counts[rank], (p-1)*rounds)
+		}
+		var want uint64
+		for src := 0; src < p; src++ {
+			if src == rank {
+				continue
+			}
+			for r := 0; r < rounds; r++ {
+				want += uint64(src*rounds + r)
+			}
+		}
+		if sums[rank] != want {
+			t.Fatalf("PE %d sum = %d, want %d (buffer reuse corrupted payloads)", rank, sums[rank], want)
+		}
+	}
+}
+
+func TestPinPayloadKeepsArenaAlive(t *testing.T) {
+	// A handler that hands its payload to another goroutine must pin the
+	// decode arena; the pinned slice must stay intact while many further
+	// frames are decoded (which recycles unpinned arenas), and release must
+	// return the arena to the pool.
+	const keep = 5
+	type pinned struct {
+		words   []uint64
+		release func()
+		want    uint64
+	}
+	var kept []pinned
+	runCluster(t, 2, 1, false, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(src int, words []uint64) {
+			if len(kept) < keep {
+				kept = append(kept, pinned{words: words, release: q.PinPayload(), want: words[0]})
+			}
+		})
+		c.Barrier()
+		if rank == 0 {
+			for i := 0; i < 500; i++ {
+				q.Send(0, 1, []uint64{uint64(1000 + i), uint64(i)})
+			}
+		}
+		q.Drain()
+	})
+	if len(kept) != keep {
+		t.Fatalf("kept %d payloads, want %d", len(kept), keep)
+	}
+	for i, pn := range kept {
+		if pn.words[0] != pn.want {
+			t.Fatalf("pinned payload %d corrupted: got %d, want %d", i, pn.words[0], pn.want)
+		}
+		pn.release()
+	}
+}
+
+func TestPinPayloadOutsideHandlerIsNoop(t *testing.T) {
+	runCluster(t, 1, 0, false, func(rank int, c *Comm, q *Queue) {
+		release := q.PinPayload()
+		release() // must not panic or touch any arena
+	})
+}
+
+func TestPinPayloadOnSelfSendIsNoop(t *testing.T) {
+	// Local dispatch passes the caller's slice, not an arena; pinning must
+	// hand back a no-op release.
+	runCluster(t, 1, 0, false, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(src int, words []uint64) {
+			release := q.PinPayload()
+			release()
+		})
+		q.Send(0, rank, []uint64{7})
+		q.Drain()
+	})
+}
+
+func TestPinPayloadOnNestedSelfSendIsNoop(t *testing.T) {
+	// A handler that self-sends mid-dispatch nests a local dispatch inside a
+	// frame dispatch; the nested handler's PinPayload must see no arena (its
+	// payload aliases the sender's slice, which an arena pin would not
+	// protect), and the outer frame's arena must survive the nesting: many
+	// outer records each pin, nest, and verify their payload afterwards.
+	const records = 200
+	got := 0
+	runCluster(t, 2, 1, false, func(rank int, c *Comm, q *Queue) {
+		q.Handle(0, func(src int, words []uint64) {
+			outer := q.PinPayload()
+			q.Send(1, rank, []uint64{words[0] * 2}) // nested local dispatch
+			if words[0] >= records {
+				t.Errorf("outer payload corrupted after nested dispatch: %d", words[0])
+			}
+			outer()
+		})
+		q.Handle(1, func(src int, words []uint64) {
+			release := q.PinPayload() // must be the no-op, not the outer arena
+			release()
+			release() // double release of the no-op must be harmless
+			got++
+		})
+		c.Barrier()
+		if rank == 0 {
+			for i := 0; i < records; i++ {
+				q.Send(0, 1, []uint64{uint64(i)})
+			}
+		}
+		q.Drain()
+	})
+	if got != records {
+		t.Fatalf("nested handler ran %d times, want %d", got, records)
+	}
+}
+
 func TestQueueUnknownChannelPanics(t *testing.T) {
 	runCluster(t, 1, 0, false, func(rank int, c *Comm, q *Queue) {
 		defer func() {

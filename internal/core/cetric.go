@@ -21,6 +21,7 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	// Expansion: orient every row, including ghosts (their visible
 	// neighborhoods are the rewired incoming cut edges).
 	ori := graph.OrientLocal(lg)
+	ori.BuildHubs(cfg.hubMinDegree())
 	state := newCountState(lg, cfg)
 
 	// The global-phase receive handler intersects with the *contracted*
@@ -39,24 +40,13 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 		v := words[0]
 		list := words[1:]
 		if pool != nil {
-			pool.submit(v, list)
+			pool.submit(v, list, pe.Q.PinPayload())
 			return
 		}
-		for _, u := range list {
-			if !lg.IsLocal(u) {
-				continue
-			}
-			c := state.countEdge(v, u, list, cut.Out(lg.Row(u)))
-			state.t3 += c
-		}
+		state.t3 += state.recvNeigh(v, list, cut)
 	})
 	pe.Q.Handle(chNeighEdge, func(src int, words []uint64) {
-		v, u := words[0], words[1]
-		list := words[2:]
-		if lg.IsLocal(u) {
-			c := state.countEdge(v, u, list, cut.Out(lg.Row(u)))
-			state.t3 += c
-		}
+		state.t3 += state.recvNeighEdge(words[0], words[1], words[2:], cut)
 	})
 	pe.Q.Handle(chDelta, state.handleDelta)
 	pe.C.Barrier()
@@ -70,6 +60,7 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 
 	sw.phase(PhaseContraction)
 	cut = ori.Contract()
+	cut.BuildHubs(cfg.hubMinDegree())
 
 	sw.phase(PhaseGlobal)
 	// Cut neighborhoods go out as (v, A(v)...) records with A(v) ID-sorted —
@@ -117,27 +108,29 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 }
 
 // cetricLocalPhase runs EDGE ITERATOR over rows [lo,hi) of the expanded
-// local graph, counting and classifying type-1/type-2 triangles.
+// local graph, counting and classifying type-1/type-2 triangles. It works
+// entirely in row space: A-lists are iterated as row indices (so ghost
+// endpoints cost no map lookup) and every wedge closes through the adaptive
+// pair kernels.
 func cetricLocalPhase(lg *graph.LocalGraph, ori *graph.LocalOriented, state *countState, lo, hi int) {
+	nLoc := int32(lg.NLocal())
 	for r := lo; r < hi; r++ {
-		v := lg.GID(int32(r))
-		av := ori.Out(int32(r))
-		vLocal := r < lg.NLocal()
-		for _, u := range av {
-			row := lg.Row(u)
-			au := ori.Out(row)
-			uLocal := lg.IsLocal(u)
-			if !vLocal || !uLocal {
+		rv := int32(r)
+		vLocal := rv < nLoc
+		av := ori.OutRows(rv)
+		for _, ur := range av {
+			ru := int32(ur)
+			if !vLocal || ru >= nLoc {
 				// At most one corner of a local-phase triangle is remote, and
 				// here it is v or u: everything found is type 2.
-				c := state.countEdge(v, u, av, au)
+				c := state.countWedgeRows(av, rv, ru, ori)
 				state.t2 += c
 				continue
 			}
 			// Both wedge endpoints local: the closing vertex decides the type.
-			graph.ForEachCommon(av, au, func(w graph.Vertex) {
-				state.add(v, u, w)
-				if lg.IsLocal(w) {
+			ori.ForEachCommonRowsWith(av, ru, func(w graph.Vertex) {
+				state.addRows(rv, ru, int32(w))
+				if int32(w) < nLoc {
 					state.t1++
 				} else {
 					state.t2++

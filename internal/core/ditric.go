@@ -20,10 +20,14 @@ func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	lg := graph.BuildLocal(pt, pe.Rank, edges)
 	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
 	ori := graph.OrientLocalOnly(lg)
+	ori.BuildHubs(cfg.hubMinDegree())
 	state := newCountState(lg, cfg)
 
 	// Hybrid mode funnels receive-side intersections to a worker pool
-	// (§IV-D); single-threaded mode intersects inline.
+	// (§IV-D); single-threaded mode intersects inline. Received lists are
+	// row-translated once per record (recvNeigh), then intersected with the
+	// adaptive kernels; pooled tasks pin the decode arena until the worker
+	// has consumed the list.
 	var pool *recvPool
 	if cfg.Threads > 1 {
 		pool = newRecvPool(cfg.Threads, lg, cfg, func() *graph.LocalOriented { return ori })
@@ -32,22 +36,13 @@ func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 		v := words[0]
 		list := words[1:]
 		if pool != nil {
-			pool.submit(v, list)
+			pool.submit(v, list, pe.Q.PinPayload())
 			return
 		}
-		for _, u := range list {
-			if !lg.IsLocal(u) {
-				continue
-			}
-			state.countEdge(v, u, list, ori.Out(lg.Row(u)))
-		}
+		state.recvNeigh(v, list, ori)
 	})
 	pe.Q.Handle(chNeighEdge, func(src int, words []uint64) {
-		v, u := words[0], words[1]
-		list := words[2:]
-		if lg.IsLocal(u) {
-			state.countEdge(v, u, list, ori.Out(lg.Row(u)))
-		}
+		state.recvNeighEdge(words[0], words[1], words[2:], ori)
 	})
 	pe.Q.Handle(chDelta, state.handleDelta)
 	pe.C.Barrier() // everyone finished preprocessing; handlers are live

@@ -102,17 +102,21 @@ func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOrient
 }
 
 // ditricLocalRows processes local rows [lo,hi): local-local wedges are
-// intersected in place, remote shipments go to sends (or directly to the
-// queue when sends is nil — the single-threaded path).
+// intersected in place through the adaptive row-space pair kernels, remote
+// shipments go to sends (or directly to the queue when sends is nil — the
+// single-threaded path).
 func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
 	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool) {
+	first := lg.First
 	for r := lo; r < hi; r++ {
-		v := lg.GID(int32(r))
-		av := ori.Out(int32(r))
+		rv := int32(r)
+		v := lg.GID(rv)
+		av := ori.Out(rv)
+		avRows := ori.OutRows(rv)
 		lastRank := -1
 		for _, u := range av {
 			if lg.IsLocal(u) {
-				state.countEdge(v, u, av, ori.Out(lg.Row(u)))
+				state.countWedgeRows(avRows, rv, int32(u-first), ori)
 				continue
 			}
 			if len(av) < 2 {
@@ -175,15 +179,18 @@ type recvPool struct {
 }
 
 type recvTask struct {
-	v    graph.Vertex
-	list []uint64
+	v       graph.Vertex
+	list    []uint64
+	release func() // unpins the decode arena the list aliases; may be nil
 }
 
 // newRecvPool starts threads workers that intersect shipped neighborhoods
 // against out() (the receiver-side A-lists: full for DITRIC, contracted for
 // CETRIC; resolved lazily because contraction happens after handler
-// registration). Task payload slices alias received frame memory, which is
-// read-only after dispatch, so no copies are needed.
+// registration). Task payload slices alias pooled decode-arena memory; the
+// submitting handler pins the arena (Queue.PinPayload) and the worker
+// releases it once the list has been row-translated and counted, so no
+// copies are needed and the arena recycles without allocation.
 func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *graph.LocalOriented) *recvPool {
 	rp := &recvPool{tasks: make(chan recvTask, 8*threads)}
 	for t := 0; t < threads; t++ {
@@ -193,12 +200,9 @@ func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *grap
 		go func() {
 			defer rp.wg.Done()
 			for task := range rp.tasks {
-				o := out()
-				for _, u := range task.list {
-					if !lg.IsLocal(u) {
-						continue
-					}
-					ws.countEdge(task.v, u, task.list, o.Out(lg.Row(u)))
+				ws.recvNeigh(task.v, task.list, out())
+				if task.release != nil {
+					task.release()
 				}
 			}
 		}()
@@ -207,9 +211,10 @@ func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *grap
 }
 
 // submit enqueues one received neighborhood (blocks when workers lag —
-// exactly the backpressure a funneled comm thread experiences).
-func (rp *recvPool) submit(v graph.Vertex, list []uint64) {
-	rp.tasks <- recvTask{v: v, list: list}
+// exactly the backpressure a funneled comm thread experiences). release is
+// called once the worker is done with list.
+func (rp *recvPool) submit(v graph.Vertex, list []uint64, release func()) {
+	rp.tasks <- recvTask{v: v, list: list, release: release}
 }
 
 // drain closes the pool, waits for the workers, and merges their counters.

@@ -11,14 +11,17 @@ import (
 // wedge-checking counter used as an independent oracle in tests.
 
 // SeqCount counts triangles with the sequential EDGE ITERATOR on the
-// degree-oriented graph: T = Σ_{(v,u)} |N⁺(v) ∩ N⁺(u)|.
+// degree-oriented graph: T = Σ_{(v,u)} |N⁺(v) ∩ N⁺(u)|, every intersection
+// going through the adaptive kernel engine (hub bitmaps, galloping,
+// branchless merge).
 func SeqCount(g *graph.Graph) uint64 {
 	o := graph.Orient(g)
+	o.BuildHubs(graph.DefaultHubMinDegree)
 	var count uint64
 	for v := 0; v < g.NumVertices(); v++ {
 		nv := o.Out(graph.Vertex(v))
 		for _, u := range nv {
-			count += graph.CountIntersect(nv, o.Out(u))
+			count += o.CountListWith(nv, u)
 		}
 	}
 	return count
@@ -28,12 +31,13 @@ func SeqCount(g *graph.Graph) uint64 {
 // triangle increments Δ of all three corners.
 func SeqDeltas(g *graph.Graph) (uint64, []uint64) {
 	o := graph.Orient(g)
+	o.BuildHubs(graph.DefaultHubMinDegree)
 	deltas := make([]uint64, g.NumVertices())
 	var count uint64
 	for v := 0; v < g.NumVertices(); v++ {
 		nv := o.Out(graph.Vertex(v))
 		for _, u := range nv {
-			graph.ForEachCommon(nv, o.Out(u), func(w graph.Vertex) {
+			o.ForEachCommonListWith(nv, u, func(w graph.Vertex) {
 				count++
 				deltas[v]++
 				deltas[u]++
@@ -48,10 +52,11 @@ func SeqDeltas(g *graph.Graph) (uint64, []uint64) {
 // within a call follows the degree orientation (v ≺ u ≺ w).
 func SeqEnumerate(g *graph.Graph, fn func(v, u, w graph.Vertex)) {
 	o := graph.Orient(g)
+	o.BuildHubs(graph.DefaultHubMinDegree)
 	for v := 0; v < g.NumVertices(); v++ {
 		nv := o.Out(graph.Vertex(v))
 		for _, u := range nv {
-			graph.ForEachCommon(nv, o.Out(u), func(w graph.Vertex) {
+			o.ForEachCommonListWith(nv, u, func(w graph.Vertex) {
 				fn(graph.Vertex(v), u, w)
 			})
 		}

@@ -122,16 +122,53 @@ func TestSeqLCC(t *testing.T) {
 	}
 }
 
-func TestGallopingIntersectAgreesWithMerge(t *testing.T) {
-	check := func(seed uint64) bool {
-		rng := gen.NewRNG(seed)
-		a := randomSorted(rng, 1+int(rng.Uint64n(200)), 1000)
-		b := randomSorted(rng, 1+int(rng.Uint64n(8)), 1000) // skewed: triggers galloping
-		return graph.CountIntersect(a, b) == graph.CountMerge(a, b) &&
-			graph.CountIntersect(b, a) == graph.CountMerge(a, b)
+// TestIntersectKernelsAgreeWithMerge drives every kernel of the adaptive
+// engine over random sorted slices at skew ratios from balanced to 1:200,
+// with CountMerge as the oracle; each kernel must agree in both argument
+// orders.
+func TestIntersectKernelsAgreeWithMerge(t *testing.T) {
+	kernels := []struct {
+		name string
+		run  func(a, b []graph.Vertex) uint64
+	}{
+		{"adaptive", graph.CountIntersect},
+		{"branchless", graph.CountMergeBranchless},
+		{"gallop", graph.CountGallop},
+		{"bitmap", func(a, b []graph.Vertex) uint64 {
+			bs := graph.NewBitset(1000)
+			bs.SetList(b)
+			return bs.CountList(a)
+		}},
+		{"foreach", func(a, b []graph.Vertex) uint64 {
+			var n uint64
+			graph.ForEachCommon(a, b, func(graph.Vertex) { n++ })
+			return n
+		}},
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
+	sizes := []struct {
+		name   string
+		na, nb uint64
+	}{
+		{"balanced", 200, 200},
+		{"mild-skew", 200, 25},
+		{"heavy-skew", 200, 8}, // triggers galloping inside adaptive
+		{"singleton", 200, 1},
+	}
+	for _, k := range kernels {
+		for _, sz := range sizes {
+			t.Run(k.name+"/"+sz.name, func(t *testing.T) {
+				check := func(seed uint64) bool {
+					rng := gen.NewRNG(seed)
+					a := randomSorted(rng, 1+int(rng.Uint64n(sz.na)), 1000)
+					b := randomSorted(rng, 1+int(rng.Uint64n(sz.nb)), 1000)
+					want := graph.CountMerge(a, b)
+					return k.run(a, b) == want && k.run(b, a) == want
+				}
+				if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+					t.Error(err)
+				}
+			})
+		}
 	}
 }
 

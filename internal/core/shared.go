@@ -21,6 +21,9 @@ type SharedConfig struct {
 	Threads int // worker goroutines; ≤0 uses GOMAXPROCS
 	// Deltas additionally accumulates per-vertex triangle counts.
 	Deltas bool
+	// HubThreshold tunes the hub-bitmap index (0 picks
+	// graph.DefaultHubMinDegree, negative disables it — see Config).
+	HubThreshold int
 }
 
 // SharedResult reports a shared-memory run.
@@ -36,6 +39,7 @@ func SharedCount(g *graph.Graph, cfg SharedConfig) SharedResult {
 		threads = runtime.GOMAXPROCS(0)
 	}
 	o := graph.Orient(g)
+	o.BuildHubs(resolveHubMinDegree(cfg.HubThreshold))
 	n := g.NumVertices()
 
 	var deltas []atomic.Uint64
@@ -65,10 +69,10 @@ func SharedCount(g *graph.Graph, cfg SharedConfig) SharedResult {
 					nv := o.Out(graph.Vertex(v))
 					for _, u := range nv {
 						if deltas == nil {
-							local += graph.CountIntersect(nv, o.Out(u))
+							local += o.CountListWith(nv, u)
 							continue
 						}
-						graph.ForEachCommon(nv, o.Out(u), func(w graph.Vertex) {
+						o.ForEachCommonListWith(nv, u, func(w graph.Vertex) {
 							local++
 							deltas[v].Add(1)
 							deltas[u].Add(1)

@@ -39,6 +39,10 @@ type countState struct {
 	t1, t2, t3 uint64
 	deltaRows  []uint64
 	triangles  [][3]graph.Vertex
+
+	// Receive-side translation scratch (see graph.RowTranslator). Reused
+	// across records so steady-state receive processing allocates nothing.
+	tr graph.RowTranslator
 }
 
 func newCountState(lg *graph.LocalGraph, cfg Config) *countState {
@@ -62,8 +66,25 @@ func (s *countState) add(v, u, w graph.Vertex) {
 	}
 }
 
+// addRows records one triangle given as row indices — the hot-path twin of
+// add with no global-ID lookups.
+func (s *countState) addRows(rv, ru, rw int32) {
+	s.count++
+	if s.lcc {
+		s.deltaRows[rv]++
+		s.deltaRows[ru]++
+		s.deltaRows[rw]++
+	}
+	if s.collect {
+		lg := s.lg
+		s.triangles = append(s.triangles, CanonTriangle(lg.GID(rv), lg.GID(ru), lg.GID(rw)))
+	}
+}
+
 // countEdge intersects av = A(v) with au = A(u) for the directed edge (v,u),
-// recording every triangle. Fast path without LCC/collection.
+// recording every triangle. Fast path without LCC/collection. This is the
+// global-ID path kept for the baselines (TriC); DITRIC/CETRIC run the
+// row-space path below.
 func (s *countState) countEdge(v, u graph.Vertex, av, au []graph.Vertex) uint64 {
 	if !s.lcc && !s.collect {
 		c := graph.CountIntersect(av, au)
@@ -73,6 +94,98 @@ func (s *countState) countEdge(v, u graph.Vertex, av, au []graph.Vertex) uint64 
 	var c uint64
 	graph.ForEachCommon(av, au, func(w graph.Vertex) {
 		s.add(v, u, w)
+		c++
+	})
+	return c
+}
+
+// recvNeigh processes one received (v, A(v)) record. The list is intersected
+// once per local endpoint it contains, so the row translation (which must
+// resolve the list's ghosts) only pays off when there are at least two: a
+// cheap range-check scan picks the strategy first — drop the record, run one
+// global-ID intersection, or translate once and run every intersection in
+// row space with the adaptive kernels. Zero map lookups and zero allocations
+// per record either way. Returns the number of triangles found.
+func (s *countState) recvNeigh(v graph.Vertex, list []uint64, o *graph.LocalOriented) uint64 {
+	lg := s.lg
+	nLoc := 0
+	first := int32(-1)
+	for _, x := range list {
+		if lg.IsLocal(x) {
+			if nLoc == 0 {
+				first = int32(x - lg.First)
+			}
+			nLoc++
+		}
+	}
+	fast := !s.lcc && !s.collect
+	switch {
+	case nLoc == 0:
+		return 0
+	case nLoc == 1 && fast:
+		c := graph.CountIntersect(list, o.Out(first))
+		s.count += c
+		return c
+	}
+	rows, _ := lg.TranslateRows(&s.tr, list)
+	if fast {
+		var c uint64
+		for _, ur := range rows[:nLoc] {
+			c += o.CountRowsWith(rows, int32(ur))
+		}
+		s.count += c
+		return c
+	}
+	// v is adjacent to a local vertex, so it is a row (ghost) here.
+	rv := lg.Row(v)
+	var c uint64
+	for _, ur := range rows[:nLoc] {
+		ru := int32(ur)
+		o.ForEachCommonRowsWith(rows, ru, func(w graph.Vertex) {
+			s.addRows(rv, ru, int32(w))
+			c++
+		})
+	}
+	return c
+}
+
+// recvNeighEdge processes one received (v, u, A(v)) record (the per-edge
+// shipment of the no-surrogate ablation): intersect only for the named u —
+// a single intersection, so the fast path stays on global IDs and skips the
+// row translation entirely.
+func (s *countState) recvNeighEdge(v, u graph.Vertex, list []uint64, o *graph.LocalOriented) uint64 {
+	if !s.lg.IsLocal(u) {
+		return 0
+	}
+	ru := int32(u - s.lg.First)
+	if !s.lcc && !s.collect {
+		c := graph.CountIntersect(list, o.Out(ru))
+		s.count += c
+		return c
+	}
+	rows, _ := s.lg.TranslateRows(&s.tr, list)
+	rv := s.lg.Row(v)
+	var c uint64
+	o.ForEachCommonRowsWith(rows, ru, func(w graph.Vertex) {
+		s.addRows(rv, ru, int32(w))
+		c++
+	})
+	return c
+}
+
+// countWedgeRows records the triangles closing the wedge rooted at the
+// oriented edge (rv, ru): av is A(rv) in row space, hoisted by the caller
+// once per row, so each pair pays exactly one hub lookup plus the adaptive
+// kernel (bitmap tests, gallop, branchy merge).
+func (s *countState) countWedgeRows(av []uint64, rv, ru int32, o *graph.LocalOriented) uint64 {
+	if !s.lcc && !s.collect {
+		c := o.CountRowsWith(av, ru)
+		s.count += c
+		return c
+	}
+	var c uint64
+	o.ForEachCommonRowsWith(av, ru, func(w graph.Vertex) {
+		s.addRows(rv, ru, int32(w))
 		c++
 	})
 	return c

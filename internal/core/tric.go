@@ -21,18 +21,23 @@ func tricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, o
 	lg := graph.BuildLocal(pt, pe.Rank, edges)
 	// No ghost degree exchange: ID orientation needs no remote information.
 	ori := graph.OrientLocalByID(lg)
+	// Without the degree orientation, hub rows keep their full
+	// out-neighborhoods — exactly what the packed hub bitmaps are for.
+	ori.BuildHubs(cfg.hubMinDegree())
 	state := newCountState(lg, cfg)
 
 	sw.phase(PhaseLocal)
 	// Count local wedges and build the complete static send buffers.
 	sendBufs := make([][]uint64, pe.P)
 	for r := 0; r < lg.NLocal(); r++ {
-		v := lg.GID(int32(r))
-		av := ori.Out(int32(r))
+		rv := int32(r)
+		v := lg.GID(rv)
+		av := ori.Out(rv)
+		avRows := ori.OutRows(rv)
 		lastRank := -1
 		for _, u := range av {
 			if lg.IsLocal(u) {
-				state.countEdge(v, u, av, ori.Out(lg.Row(u)))
+				state.countWedgeRows(avRows, rv, int32(u-lg.First), ori)
 				continue
 			}
 			if len(av) < 2 {
@@ -65,12 +70,7 @@ func tricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, o
 			n := int(words[i+1])
 			list := words[i+2 : i+2+n]
 			i += 2 + n
-			for _, u := range list {
-				if !lg.IsLocal(u) {
-					continue
-				}
-				state.countEdge(v, u, list, ori.Out(lg.Row(u)))
-			}
+			state.recvNeigh(v, list, ori)
 		}
 	}
 	sw.stop()

@@ -52,6 +52,15 @@ type Config struct {
 	Indirect  bool // grid-based indirect delivery (the "2" variants)
 	Threads   int  // >1 enables the hybrid local/global phases (DITRIC/CETRIC)
 
+	// HubThreshold tunes the adaptive intersection engine: rows whose
+	// oriented neighborhood A(v) has at least this many entries get a packed
+	// hub bitmap, turning intersections against them into bit tests (and
+	// hub ∩ hub into word-AND + popcount). 0 picks
+	// graph.DefaultHubMinDegree; negative disables the bitmaps, leaving the
+	// branchless-merge and galloping kernels. Total bitmap memory is capped
+	// at the size of the A-lists themselves regardless of the threshold.
+	HubThreshold int
+
 	// Codec selects the wire codec policy for the queue channels: "auto"
 	// (or empty — tuned per-channel codecs, delta-varint on adjacency
 	// shipments), or "raw" / "varint" / "deltavarint" to force one codec
@@ -87,6 +96,23 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// resolveHubMinDegree maps a HubThreshold knob value to the minimum
+// out-degree passed to BuildHubs (0 disables the hub index there): negative
+// disables, zero picks the engine default. Shared by the distributed Config
+// and SharedConfig so the two paths cannot drift.
+func resolveHubMinDegree(v int) int {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return graph.DefaultHubMinDegree
+	default:
+		return v
+	}
+}
+
+func (c Config) hubMinDegree() int { return resolveHubMinDegree(c.HubThreshold) }
 
 // Result reports one distributed run.
 type Result struct {

@@ -78,6 +78,83 @@ func FuzzBinaryGraphFormat(f *testing.F) {
 	})
 }
 
+// FuzzIntersectKernels feeds arbitrary byte strings, turned into sorted
+// deduplicated vertex slices, through every intersection kernel; all must
+// agree with the CountMerge oracle, in both argument orders.
+func FuzzIntersectKernels(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255, 0, 255}, []byte{1})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 9}, []byte{7})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := sortedFromBytes(rawA)
+		b := sortedFromBytes(rawB)
+		want := CountMerge(a, b)
+		if got := CountMergeBranchless(a, b); got != want {
+			t.Fatalf("branchless = %d, merge = %d (a=%v b=%v)", got, want, a, b)
+		}
+		if got := CountGallop(a, b); got != want {
+			t.Fatalf("gallop = %d, merge = %d (a=%v b=%v)", got, want, a, b)
+		}
+		if got := CountIntersect(a, b); got != want {
+			t.Fatalf("adaptive = %d, merge = %d (a=%v b=%v)", got, want, a, b)
+		}
+		if got := CountIntersect(b, a); got != want {
+			t.Fatalf("adaptive reversed = %d, merge = %d (a=%v b=%v)", got, want, a, b)
+		}
+		var each uint64
+		ForEachCommon(a, b, func(Vertex) { each++ })
+		if each != want {
+			t.Fatalf("ForEachCommon = %d, merge = %d", each, want)
+		}
+		// Bitmap kernel: index b, probe with a (domain = max value + 1).
+		var domain Vertex = 1
+		for _, x := range b {
+			if x >= domain {
+				domain = x + 1
+			}
+		}
+		for _, x := range a {
+			if x >= domain {
+				domain = x + 1
+			}
+		}
+		bs := NewBitset(int(domain))
+		bs.SetList(b)
+		if got := bs.CountList(a); got != want {
+			t.Fatalf("bitmap = %d, merge = %d (a=%v b=%v)", got, want, a, b)
+		}
+		var bits uint64
+		bs.ForEachCommonList(a, func(Vertex) { bits++ })
+		if bits != want {
+			t.Fatalf("bitmap ForEach = %d, merge = %d", bits, want)
+		}
+		// Bitset ∩ Bitset via AND + popcount.
+		ba := NewBitset(int(domain))
+		ba.SetList(a)
+		if got := ba.CountAnd(bs); got != want {
+			t.Fatalf("bitmap AND = %d, merge = %d (a=%v b=%v)", got, want, a, b)
+		}
+		var and uint64
+		ba.ForEachAnd(bs, func(Vertex) { and++ })
+		if and != want {
+			t.Fatalf("bitmap ForEachAnd = %d, merge = %d", and, want)
+		}
+	})
+}
+
+// sortedFromBytes maps fuzz bytes to a strictly ascending vertex slice
+// (cumulative gaps, so adjacent duplicates become distinct values).
+func sortedFromBytes(raw []byte) []Vertex {
+	out := make([]Vertex, 0, len(raw))
+	cur := Vertex(0)
+	for _, b := range raw {
+		cur += Vertex(b) + 1
+		out = append(out, cur-1)
+	}
+	return out
+}
+
 func FuzzVarint(f *testing.F) {
 	f.Add(uint64(0))
 	f.Add(uint64(127))

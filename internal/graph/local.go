@@ -28,6 +28,7 @@ type LocalGraph struct {
 	ghostRow map[Vertex]int32 // global ID -> row index for ghosts
 	off      []int64          // CSR offsets, len = rows+1
 	adj      []Vertex         // global IDs, each row sorted ascending
+	adjRow   []int32          // adj translated to row indices (same layout)
 	deg      []int            // global degree per row; ghost entries -1 until set
 }
 
@@ -95,26 +96,43 @@ func BuildLocal(pt *part.Partition, rank int, edges []Edge) *LocalGraph {
 		adj[pos[rv]] = e.U
 		pos[rv]++
 	}
-	// Sort + dedup rows.
+	// Sort + dedup rows, row-translating in the same pass: every entry is a
+	// local vertex or a known ghost, sorted within its row, so ghosts resolve
+	// by forward galloping through the sorted ghost-ID array (no hashing) and
+	// never need resolution again — orientation, local phases, and
+	// receive-side intersections all work on the translated row indices.
 	w := int64(0)
 	newOff := make([]int64, rows+1)
+	adjRow := make([]int32, len(adj))
 	for r := 0; r < rows; r++ {
 		row := adj[off[r]:off[r+1]]
 		slices.Sort(row)
 		start := w
 		var last Vertex
 		first := true
+		lo := 0
 		for _, x := range row {
-			if first || x != last {
-				adj[w] = x
-				w++
-				last, first = x, false
+			if !first && x == last {
+				continue
 			}
+			adj[w] = x
+			if l.isLocal(x) {
+				adjRow[w] = int32(x - l.First)
+			} else {
+				g, ok := l.ghostSearch(x, lo)
+				if !ok {
+					panic(fmt.Sprintf("graph: adjacency entry %d is neither local nor ghost on PE %d", x, rank))
+				}
+				adjRow[w] = int32(l.nLocal + g)
+				lo = g + 1
+			}
+			w++
+			last, first = x, false
 		}
 		newOff[r] = start
 	}
 	newOff[rows] = w
-	l.off, l.adj = newOff, adj[:w]
+	l.off, l.adj, l.adjRow = newOff, adj[:w], adjRow[:w]
 
 	// Local degrees are exact (1D partition: every incident edge is visible);
 	// ghost degrees are unknown until the degree exchange.
@@ -129,6 +147,72 @@ func BuildLocal(pt *part.Partition, rank int, edges []Edge) *LocalGraph {
 }
 
 func (l *LocalGraph) isLocal(v Vertex) bool { return v >= l.First && v < l.Last }
+
+// ghostSearch finds x in ghostID[from:] by exponential + binary search,
+// returning its index. Callers scanning an ascending sequence pass the
+// previous hit + 1 as from, so a whole scan costs O(k log gap) array probes
+// with no hashing.
+func (l *LocalGraph) ghostSearch(x Vertex, from int) (int, bool) {
+	gid := l.ghostID
+	lo, hi := from, from
+	step := 1
+	for hi < len(gid) && gid[hi] < x {
+		lo = hi + 1
+		hi += step
+		step *= 2
+	}
+	if hi > len(gid) {
+		hi = len(gid)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if gid[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(gid) && gid[lo] == x {
+		return lo, true
+	}
+	return lo, false
+}
+
+// RowTranslator is reusable scratch for TranslateRows; the zero value is
+// ready to use. It grows to the largest list translated through it and then
+// allocates nothing.
+type RowTranslator struct {
+	loc []uint64
+	gho []uint64
+}
+
+// TranslateRows maps a sorted global-ID list to ascending row indices using
+// tr's scratch. Vertices that are neither local nor ghost here are dropped
+// (they cannot appear in any local A-list). Locals come first — their rows
+// precede all ghost rows — and both subsequences arrive in ID order, so the
+// result is sorted with no comparison sort; ghosts resolve by forward
+// galloping through the sorted ghost-ID array, not by hashing. The returned
+// slice aliases tr's scratch and is valid until the next call; nLocal is the
+// length of the local-row prefix.
+func (l *LocalGraph) TranslateRows(tr *RowTranslator, list []Vertex) (rows []uint64, nLocal int) {
+	loc, gho := tr.loc[:0], tr.gho[:0]
+	first := l.First
+	lo := 0
+	for _, x := range list {
+		if l.isLocal(x) {
+			loc = append(loc, x-first)
+			continue
+		}
+		if g, ok := l.ghostSearch(x, lo); ok {
+			gho = append(gho, uint64(l.nLocal+g))
+			lo = g + 1
+		}
+	}
+	nLocal = len(loc)
+	loc = append(loc, gho...)
+	tr.loc, tr.gho = loc, gho
+	return loc, nLocal
+}
 
 // IsLocal reports whether v is owned by this PE.
 func (l *LocalGraph) IsLocal(v Vertex) bool { return l.isLocal(v) }
@@ -174,6 +258,11 @@ func (l *LocalGraph) Ghosts() []Vertex { return l.ghostID }
 // RowNeighbors returns the visible neighborhood of a row (global IDs,
 // ascending). For ghost rows this contains only local vertices.
 func (l *LocalGraph) RowNeighbors(row int32) []Vertex { return l.adj[l.off[row]:l.off[row+1]] }
+
+// RowNeighborRows returns the same neighborhood as RowNeighbors but
+// translated to row indices (aligned element-for-element with the global-ID
+// slice, i.e. ordered by global ID, not by row).
+func (l *LocalGraph) RowNeighborRows(row int32) []int32 { return l.adjRow[l.off[row]:l.off[row+1]] }
 
 // Degree returns the global degree of a row; -1 for ghosts before the
 // ghost-degree exchange has run.

@@ -18,10 +18,69 @@ func Less(du int, u Vertex, dv int, v Vertex) bool {
 
 // OutGraph is a degree-oriented view of an undirected graph: Out(v) holds the
 // outgoing neighborhood N⁺(v) = {u : v ≺ u}, sorted ascending by vertex ID so
-// two out-neighborhoods can be intersected by a merge.
+// two out-neighborhoods can be intersected by a merge. BuildHubs additionally
+// indexes heavy out-lists as packed bitmaps (the vertex domain is already
+// dense), turning hub intersections into bit tests / word-AND + popcount.
 type OutGraph struct {
-	off []int64
-	out []Vertex
+	off  []int64
+	out  []Vertex
+	hubs hubIndex
+}
+
+// BuildHubs builds the packed hub-bitmap index: vertices with |N⁺(v)| ≥
+// minDeg get a bitset over the vertex domain, memory-capped at the size of
+// the out-lists themselves (largest rows first). minDeg ≤ 0 disables it.
+func (o *OutGraph) BuildHubs(minDeg int) {
+	o.hubs = buildHubs(o.NumVertices(), o.off, o.out, minDeg)
+}
+
+// NumHubs returns the number of vertices carrying a hub bitmap.
+func (o *OutGraph) NumHubs() int { return o.hubs.hubs }
+
+// HubBitset returns the packed bitmap of a hub vertex, or nil.
+func (o *OutGraph) HubBitset(v Vertex) Bitset { return o.hubs.bitset(int(v)) }
+
+// CountListWith returns |list ∩ N⁺(u)| for an ascending vertex list — the
+// hoisted-first-operand hot path: callers slice N⁺(v) once per row and pay
+// one hub lookup per pair.
+func (o *OutGraph) CountListWith(list []Vertex, u Vertex) uint64 {
+	if bu := o.hubs.bitset(int(u)); bu != nil {
+		return bu.CountList(list)
+	}
+	return CountIntersect(list, o.Out(u))
+}
+
+// ForEachCommonListWith calls fn for every element of list ∩ N⁺(u),
+// ascending.
+func (o *OutGraph) ForEachCommonListWith(list []Vertex, u Vertex, fn func(Vertex)) {
+	if bu := o.hubs.bitset(int(u)); bu != nil {
+		bu.ForEachCommonList(list, fn)
+		return
+	}
+	ForEachCommon(list, o.Out(u), fn)
+}
+
+// CountPair returns |N⁺(v) ∩ N⁺(u)|, dispatching between the hub-bitmap,
+// galloping, and branchless-merge kernels per pair.
+func (o *OutGraph) CountPair(v, u Vertex) uint64 {
+	bv, bu := o.hubs.bitset(int(v)), o.hubs.bitset(int(u))
+	switch {
+	case bv != nil && bu != nil:
+		lv, lu := o.OutDegree(v), o.OutDegree(u)
+		if min(lv, lu) < o.hubs.stride {
+			if lv <= lu {
+				return bu.CountList(o.Out(v))
+			}
+			return bv.CountList(o.Out(u))
+		}
+		return bv.CountAnd(bu)
+	case bu != nil:
+		return bu.CountList(o.Out(v))
+	case bv != nil:
+		return bv.CountList(o.Out(u))
+	default:
+		return CountIntersect(o.Out(v), o.Out(u))
+	}
 }
 
 // Orient builds the COMPACT-FORWARD orientation of g.

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // LocalOriented holds the degree-oriented out-neighborhoods A(v) of a PE's
 // expanded local graph (Algorithm 3, lines 3–4):
@@ -8,129 +11,197 @@ import "fmt"
 //	local v: A(v) = {x ∈ N(v) | v ≺ x}
 //	ghost v: A(v) = {x ∈ N(v) | v ≺ x ∧ x local}   (only local edges visible)
 //
-// Entries are global IDs sorted ascending. Building it requires ghost
-// degrees, i.e. exchange_ghost_degree must have run.
+// Two aligned layouts are kept per row:
+//
+//   - Out(row): global IDs sorted ascending — the shape neighborhoods are
+//     shipped in (message payloads need no translation, and the sorted IDs
+//     are what the delta-varint wire codec compresses).
+//   - OutRows(row): the same set translated to row indices, sorted ascending
+//     by row — the shape every local intersection runs on, so the hot loops
+//     never touch the ghost map and can use the packed hub bitmaps.
+//
+// Building either requires ghost degrees, i.e. exchange_ghost_degree must
+// have run (except for the by-ID orientation).
 type LocalOriented struct {
-	L   *LocalGraph
-	off []int64
-	out []Vertex
+	L      *LocalGraph
+	off    []int64
+	out    []Vertex // global IDs, ascending per row
+	rowOut []Vertex // row indices, ascending per row
+	hubs   hubIndex
 }
 
-// OrientLocal computes the A-lists for every row (locals and ghosts).
-func OrientLocal(l *LocalGraph) *LocalOriented {
+// DefaultHubMinDegree is the out-degree above which a row gets a packed
+// bitmap in BuildHubs when the caller does not tune the threshold. Degree
+// orientation keeps out-lists short (the top A-lists of the RGG/RHG
+// fixtures are in the tens, not hundreds), so the default is deliberately
+// low: the bitmap kernel already beats the merge at equal operand sizes
+// (BenchmarkIntersect), rows this heavy are intersected once per in-edge so
+// the O(stride) build cost amortizes, and the memory cap in BuildHubs
+// bounds the total bitmap footprint to the size of the A-lists themselves
+// regardless of the threshold.
+const DefaultHubMinDegree = 32
+
+// hubIndex maps heavy rows to packed bitsets over the row domain, so
+// hub ∩ anything becomes bit tests (or word-AND + popcount for hub ∩ hub).
+// perRow holds one slice header per row (nil for non-hubs): a single load
+// on the per-pair hot path, which matters more than the pointer overhead.
+type hubIndex struct {
+	stride int
+	perRow []Bitset
+	hubs   int
+	bits   []uint64
+}
+
+func (h *hubIndex) bitset(row int) Bitset {
+	if h.perRow == nil {
+		return nil
+	}
+	return h.perRow[row]
+}
+
+// buildHubs indexes rows with list length ≥ minDeg, capping total bitmap
+// memory at the memory of the lists themselves (one word per entry): with
+// stride words per bitmap, at most len(entries)/stride rows get one, largest
+// rows first. minDeg ≤ 0 disables the index.
+func buildHubs(rows int, off []int64, entries []Vertex, minDeg int) hubIndex {
+	var h hubIndex
+	if minDeg <= 0 || rows == 0 || len(entries) == 0 {
+		return h
+	}
+	h.stride = BitsetWords(rows)
+	maxHubs := len(entries) / h.stride
+	if maxHubs == 0 {
+		return h
+	}
+	var cand []int32
+	for r := 0; r < rows; r++ {
+		if int(off[r+1]-off[r]) >= minDeg {
+			cand = append(cand, int32(r))
+		}
+	}
+	if len(cand) == 0 {
+		return h
+	}
+	if len(cand) > maxHubs {
+		// Keep the heaviest rows; ties broken by row for determinism.
+		slices.SortFunc(cand, func(a, b int32) int {
+			da, db := off[a+1]-off[a], off[b+1]-off[b]
+			if da != db {
+				return int(db - da)
+			}
+			return int(a - b)
+		})
+		cand = cand[:maxHubs]
+	}
+	h.perRow = make([]Bitset, rows)
+	h.hubs = len(cand)
+	h.bits = make([]uint64, len(cand)*h.stride)
+	for i, r := range cand {
+		bs := Bitset(h.bits[i*h.stride : (i+1)*h.stride])
+		for _, x := range entries[off[r]:off[r+1]] {
+			bs.Set(x)
+		}
+		h.perRow[r] = bs
+	}
+	return h
+}
+
+// BuildHubs builds the packed hub-bitmap index over the row-translated
+// A-lists: rows with |A(v)| ≥ minDeg get a bitset over the row domain
+// (memory-capped; see buildHubs). minDeg ≤ 0 disables the index, leaving
+// every intersection on the merge/gallop kernels.
+func (o *LocalOriented) BuildHubs(minDeg int) {
+	o.hubs = buildHubs(o.L.Rows(), o.off, o.rowOut, minDeg)
+}
+
+// NumHubs returns the number of rows carrying a hub bitmap.
+func (o *LocalOriented) NumHubs() int { return o.hubs.hubs }
+
+// orientDegree builds both layouts for the degree orientation over rows
+// [0,hi); rows [hi,Rows) stay empty. The ≺ test runs on the row-translated
+// adjacency (l.deg[xr], no ghost-map lookups) and is written out, not passed
+// as a closure — an indirect call per adjacency entry is measurable here.
+//
+// Both layouts are filled in one pass each row: the adjacency is sorted by
+// global ID, local rows translate in place, ghost rows (which sort after
+// all locals and are in ID order already) are buffered per row and appended
+// — no comparison sort is needed.
+func orientDegree(l *LocalGraph, hi int) *LocalOriented {
 	rows := l.Rows()
 	off := make([]int64, rows+1)
-	for r := 0; r < rows; r++ {
+	for r := 0; r < hi; r++ {
+		v, dv := l.GID(int32(r)), l.Degree(int32(r))
+		adj := l.RowNeighbors(int32(r))
+		adjR := l.RowNeighborRows(int32(r))
+		cnt := int64(0)
+		for i, x := range adj {
+			if Less(dv, v, l.deg[adjR[i]], x) {
+				cnt++
+			}
+		}
+		off[r+1] = off[r] + cnt
+	}
+	for r := hi; r < rows; r++ {
+		off[r+1] = off[r]
+	}
+	o := &LocalOriented{L: l, off: off,
+		out: make([]Vertex, off[rows]), rowOut: make([]Vertex, off[rows])}
+	var ghosts []Vertex // per-row scratch for ghost row indices
+	nLoc := int32(l.NLocal())
+	for r := 0; r < hi; r++ {
+		v, dv := l.GID(int32(r)), l.Degree(int32(r))
+		adj := l.RowNeighbors(int32(r))
+		adjR := l.RowNeighborRows(int32(r))
+		w, rw := off[r], off[r]
+		ghosts = ghosts[:0]
+		for i, x := range adj {
+			xr := adjR[i]
+			if !Less(dv, v, l.deg[xr], x) {
+				continue
+			}
+			o.out[w] = x
+			w++
+			if xr < nLoc {
+				o.rowOut[rw] = Vertex(xr)
+				rw++
+			} else {
+				ghosts = append(ghosts, Vertex(xr))
+			}
+		}
+		copy(o.rowOut[rw:off[r+1]], ghosts)
+	}
+	return o
+}
+
+// requireDegrees panics unless every ghost degree is known: degree
+// orientation compares against the degrees of neighbors, which may be ghosts
+// even when only local rows are oriented.
+func requireDegrees(l *LocalGraph) {
+	for r := 0; r < l.Rows(); r++ {
 		if l.Degree(int32(r)) < 0 {
 			panic(fmt.Sprintf("graph: ghost degree of row %d unknown on PE %d; run the degree exchange first", r, l.Rank))
 		}
 	}
-	for r := 0; r < rows; r++ {
-		v := l.GID(int32(r))
-		dv := l.Degree(int32(r))
-		cnt := int64(0)
-		for _, x := range l.RowNeighbors(int32(r)) {
-			if Less(dv, v, l.Degree(l.Row(x)), x) {
-				cnt++
-			}
-		}
-		off[r+1] = off[r] + cnt
-	}
-	out := make([]Vertex, off[rows])
-	for r := 0; r < rows; r++ {
-		v := l.GID(int32(r))
-		dv := l.Degree(int32(r))
-		w := off[r]
-		for _, x := range l.RowNeighbors(int32(r)) {
-			if Less(dv, v, l.Degree(l.Row(x)), x) {
-				out[w] = x
-				w++
-			}
-		}
-	}
-	return &LocalOriented{L: l, off: off, out: out}
 }
 
-// Out returns A(row), global IDs sorted ascending. Aliases internal storage.
-func (o *LocalOriented) Out(row int32) []Vertex { return o.out[o.off[row]:o.off[row+1]] }
-
-// OutDegree returns |A(row)|.
-func (o *LocalOriented) OutDegree(row int32) int { return int(o.off[row+1] - o.off[row]) }
-
-// TotalOut returns the total number of A-list entries across all rows.
-func (o *LocalOriented) TotalOut() int { return len(o.out) }
-
-// Contract applies the contraction step (Algorithm 3, line 8): for every
-// local vertex, keep only the out-neighbors that are ghosts (cut out-edges);
-// ghost rows become empty. The result is the PE's part of the cut graph ∂G,
-// restricted to outgoing edges.
-func (o *LocalOriented) Contract() *LocalOriented {
-	l := o.L
-	rows := l.Rows()
-	off := make([]int64, rows+1)
-	for r := 0; r < l.NLocal(); r++ {
-		cnt := int64(0)
-		for _, x := range o.Out(int32(r)) {
-			if !l.IsLocal(x) {
-				cnt++
-			}
-		}
-		off[r+1] = off[r] + cnt
-	}
-	for r := l.NLocal(); r < rows; r++ {
-		off[r+1] = off[r]
-	}
-	out := make([]Vertex, off[rows])
-	for r := 0; r < l.NLocal(); r++ {
-		w := off[r]
-		for _, x := range o.Out(int32(r)) {
-			if !l.IsLocal(x) {
-				out[w] = x
-				w++
-			}
-		}
-	}
-	return &LocalOriented{L: l, off: off, out: out}
+// OrientLocal computes the A-lists for every row (locals and ghosts).
+func OrientLocal(l *LocalGraph) *LocalOriented {
+	requireDegrees(l)
+	return orientDegree(l, l.Rows())
 }
 
 // OrientLocalOnly computes A-lists for local rows only, leaving ghost rows
 // empty. DITRIC uses this: it never expands ghost neighborhoods, which is
 // exactly the preprocessing work it saves compared to CETRIC.
 func OrientLocalOnly(l *LocalGraph) *LocalOriented {
-	rows := l.Rows()
-	off := make([]int64, rows+1)
-	for r := 0; r < l.NLocal(); r++ {
-		v := l.GID(int32(r))
-		dv := l.Degree(int32(r))
-		cnt := int64(0)
-		for _, x := range l.RowNeighbors(int32(r)) {
-			if Less(dv, v, l.Degree(l.Row(x)), x) {
-				cnt++
-			}
-		}
-		off[r+1] = off[r] + cnt
-	}
-	for r := l.NLocal(); r < rows; r++ {
-		off[r+1] = off[r]
-	}
-	out := make([]Vertex, off[rows])
-	for r := 0; r < l.NLocal(); r++ {
-		v := l.GID(int32(r))
-		dv := l.Degree(int32(r))
-		w := off[r]
-		for _, x := range l.RowNeighbors(int32(r)) {
-			if Less(dv, v, l.Degree(l.Row(x)), x) {
-				out[w] = x
-				w++
-			}
-		}
-	}
-	return &LocalOriented{L: l, off: off, out: out}
+	requireDegrees(l)
+	return orientDegree(l, l.NLocal())
 }
 
 // OrientLocalByID orients the expanded local graph by vertex ID only (no
 // degrees), used by the TriC baseline which skips the degree orientation.
-// It needs no ghost-degree exchange.
+// It needs no ghost-degree exchange. The same two-pass/one-pass structure as
+// orientDegree, specialized for the x > v test.
 func OrientLocalByID(l *LocalGraph) *LocalOriented {
 	rows := l.Rows()
 	off := make([]int64, rows+1)
@@ -144,16 +215,135 @@ func OrientLocalByID(l *LocalGraph) *LocalOriented {
 		}
 		off[r+1] = off[r] + cnt
 	}
-	out := make([]Vertex, off[rows])
+	o := &LocalOriented{L: l, off: off,
+		out: make([]Vertex, off[rows]), rowOut: make([]Vertex, off[rows])}
+	var ghosts []Vertex
+	nLoc := int32(l.NLocal())
 	for r := 0; r < rows; r++ {
 		v := l.GID(int32(r))
+		adj := l.RowNeighbors(int32(r))
+		adjR := l.RowNeighborRows(int32(r))
+		w, rw := off[r], off[r]
+		ghosts = ghosts[:0]
+		for i, x := range adj {
+			if x <= v {
+				continue
+			}
+			o.out[w] = x
+			w++
+			if xr := adjR[i]; xr < nLoc {
+				o.rowOut[rw] = Vertex(xr)
+				rw++
+			} else {
+				ghosts = append(ghosts, Vertex(xr))
+			}
+		}
+		copy(o.rowOut[rw:off[r+1]], ghosts)
+	}
+	return o
+}
+
+// Out returns A(row), global IDs sorted ascending. Aliases internal storage.
+func (o *LocalOriented) Out(row int32) []Vertex { return o.out[o.off[row]:o.off[row+1]] }
+
+// OutRows returns A(row) translated to row indices, sorted ascending by row.
+// Aliases internal storage.
+func (o *LocalOriented) OutRows(row int32) []Vertex { return o.rowOut[o.off[row]:o.off[row+1]] }
+
+// OutDegree returns |A(row)|.
+func (o *LocalOriented) OutDegree(row int32) int { return int(o.off[row+1] - o.off[row]) }
+
+// TotalOut returns the total number of A-list entries across all rows.
+func (o *LocalOriented) TotalOut() int { return len(o.out) }
+
+// HubBitset returns the packed bitmap of a hub row, or nil.
+func (o *LocalOriented) HubBitset(row int32) Bitset { return o.hubs.bitset(int(row)) }
+
+// CountRowsWith returns |list ∩ A(row)| where list is an ascending slice of
+// row indices, dispatching to the hub bitmap when row carries one and to the
+// adaptive merge/gallop kernels otherwise.
+func (o *LocalOriented) CountRowsWith(list []Vertex, row int32) uint64 {
+	if bs := o.hubs.bitset(int(row)); bs != nil {
+		return bs.CountList(list)
+	}
+	return CountIntersect(list, o.OutRows(row))
+}
+
+// ForEachCommonRowsWith calls fn for every row index in list ∩ A(row),
+// ascending (the enumeration twin of CountRowsWith, for the Δ/collect path).
+func (o *LocalOriented) ForEachCommonRowsWith(list []Vertex, row int32, fn func(Vertex)) {
+	if bs := o.hubs.bitset(int(row)); bs != nil {
+		bs.ForEachCommonList(list, fn)
+		return
+	}
+	ForEachCommon(list, o.OutRows(row), fn)
+}
+
+// CountRowPair returns |A(a) ∩ A(b)| in row space. Hub pairs use word-AND +
+// popcount when both lists are longer than the bitmap stride (otherwise bit
+// tests over the shorter list win); single hubs use bit tests; the rest goes
+// to the adaptive merge/gallop kernels.
+func (o *LocalOriented) CountRowPair(a, b int32) uint64 {
+	ba, bb := o.hubs.bitset(int(a)), o.hubs.bitset(int(b))
+	switch {
+	case ba != nil && bb != nil:
+		la, lb := o.OutDegree(a), o.OutDegree(b)
+		if min(la, lb) < o.hubs.stride {
+			if la <= lb {
+				return bb.CountList(o.OutRows(a))
+			}
+			return ba.CountList(o.OutRows(b))
+		}
+		return ba.CountAnd(bb)
+	case bb != nil:
+		return bb.CountList(o.OutRows(a))
+	case ba != nil:
+		return ba.CountList(o.OutRows(b))
+	default:
+		return CountIntersect(o.OutRows(a), o.OutRows(b))
+	}
+}
+
+// Contract applies the contraction step (Algorithm 3, line 8): for every
+// local vertex, keep only the out-neighbors that are ghosts (cut out-edges);
+// ghost rows become empty. The result is the PE's part of the cut graph ∂G,
+// restricted to outgoing edges. Hub bitmaps are not carried over; call
+// BuildHubs on the result if the cut lists warrant them.
+func (o *LocalOriented) Contract() *LocalOriented {
+	l := o.L
+	rows := l.Rows()
+	nLoc := Vertex(l.NLocal())
+	off := make([]int64, rows+1)
+	for r := 0; r < l.NLocal(); r++ {
+		cnt := int64(0)
+		for _, x := range o.Out(int32(r)) {
+			if !l.IsLocal(x) {
+				cnt++
+			}
+		}
+		off[r+1] = off[r] + cnt
+	}
+	for r := l.NLocal(); r < rows; r++ {
+		off[r+1] = off[r]
+	}
+	out := make([]Vertex, off[rows])
+	rowOut := make([]Vertex, off[rows])
+	for r := 0; r < l.NLocal(); r++ {
 		w := off[r]
-		for _, x := range l.RowNeighbors(int32(r)) {
-			if x > v {
+		for _, x := range o.Out(int32(r)) {
+			if !l.IsLocal(x) {
 				out[w] = x
 				w++
 			}
 		}
+		// In row space the ghost entries are exactly the suffix ≥ NLocal of
+		// the ascending row list.
+		src := o.OutRows(int32(r))
+		i := len(src)
+		for i > 0 && src[i-1] >= nLoc {
+			i--
+		}
+		copy(rowOut[off[r]:off[r+1]], src[i:])
 	}
-	return &LocalOriented{L: l, off: off, out: out}
+	return &LocalOriented{L: l, off: off, out: out, rowOut: rowOut}
 }

@@ -1,0 +1,59 @@
+package transport
+
+import "sync"
+
+// Byte-frame buffer pool. Data frames are produced at every queue flush and
+// consumed at every receive; recycling their backing arrays through one
+// process-wide free list makes the steady-state flush/receive path
+// allocation-free. Ownership flows with the frame: a sender that obtained
+// its buffer from GetBuf hands it to SendBytes, and whoever finishes
+// consuming a frame (the receiver after dispatch, or the TCP writer after
+// the payload is on the wire) returns it with PutBuf.
+var bufPool struct {
+	mu    sync.Mutex
+	bufs  [][]byte
+	bytes int
+}
+
+// maxPooledBufs and maxPooledBytes cap the free list by count and by total
+// capacity, so neither a burst of many frames nor a few huge ones (δ-sized
+// encoded frames can reach megabytes) pins unbounded memory for the process
+// lifetime.
+const (
+	maxPooledBufs  = 256
+	maxPooledBytes = 64 << 20
+)
+
+// GetBuf returns a zero-length byte buffer with capacity at least n,
+// recycled from the pool when possible. A pooled buffer too small for this
+// request is left in the pool for a smaller one (large buffers get pushed
+// on top as they recycle, so mixed frame sizes converge instead of draining
+// the pool).
+func GetBuf(n int) []byte {
+	bufPool.mu.Lock()
+	if k := len(bufPool.bufs); k > 0 && cap(bufPool.bufs[k-1]) >= n {
+		b := bufPool.bufs[k-1]
+		bufPool.bufs[k-1] = nil
+		bufPool.bufs = bufPool.bufs[:k-1]
+		bufPool.bytes -= cap(b)
+		bufPool.mu.Unlock()
+		return b[:0]
+	}
+	bufPool.mu.Unlock()
+	return make([]byte, 0, n)
+}
+
+// PutBuf returns a buffer to the pool. The caller must not touch b after the
+// call. Nil or zero-capacity buffers are ignored; buffers beyond the pool
+// caps are dropped for the GC.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bufPool.mu.Lock()
+	if len(bufPool.bufs) < maxPooledBufs && bufPool.bytes+cap(b) <= maxPooledBytes {
+		bufPool.bufs = append(bufPool.bufs, b[:0])
+		bufPool.bytes += cap(b)
+	}
+	bufPool.mu.Unlock()
+}

@@ -60,9 +60,14 @@ func (e *chanEndpoint) Send(dst int, words []uint64) error {
 
 func (e *chanEndpoint) SendBytes(dst int, b []byte) error {
 	if dst < 0 || dst >= len(e.net.eps) {
+		PutBuf(b) // ownership transferred; nobody will consume it
 		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", dst, len(e.net.eps))
 	}
-	return e.net.eps[dst].push(Frame{Src: e.rank, Bytes: b})
+	if err := e.net.eps[dst].push(Frame{Src: e.rank, Bytes: b}); err != nil {
+		PutBuf(b)
+		return err
+	}
+	return nil
 }
 
 func (e *chanEndpoint) push(f Frame) error {
@@ -100,6 +105,10 @@ func (e *chanEndpoint) Recv() (Frame, bool) {
 func (e *chanEndpoint) clear() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Recycle byte frames that were queued but never consumed.
+	for _, f := range e.queue[e.head:] {
+		PutBuf(f.Bytes)
+	}
 	e.queue, e.head, e.closed = nil, 0, true
 }
 

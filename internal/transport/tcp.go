@@ -126,8 +126,9 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 		var f Frame
 		if h&tcpBytesFlag != 0 {
 			// Byte frame: the payload is retained by the receiver, so it
-			// needs its own allocation.
-			data := make([]byte, n)
+			// needs its own backing array — recycled through the frame pool,
+			// which the consumer refills with PutBuf after dispatch.
+			data := GetBuf(int(n))[:n]
 			if _, err := io.ReadFull(c, data); err != nil {
 				return
 			}
@@ -193,6 +194,7 @@ func (e *TCPEndpoint) SendBytes(dst int, b []byte) error {
 		e.inMu.Lock()
 		defer e.inMu.Unlock()
 		if e.closed {
+			PutBuf(b) // ownership transferred; nobody will consume it
 			return errors.New("transport: endpoint closed")
 		}
 		e.queue = append(e.queue, Frame{Src: e.rank, Bytes: b})
@@ -200,12 +202,18 @@ func (e *TCPEndpoint) SendBytes(dst int, b []byte) error {
 	}
 	tc, err := e.conn(dst)
 	if err != nil {
+		PutBuf(b)
 		return err
 	}
-	buf := make([]byte, 8+len(b))
+	buf := GetBuf(8 + len(b))[:8+len(b)]
 	binary.LittleEndian.PutUint64(buf, uint64(len(b))|tcpBytesFlag)
 	copy(buf[8:], b)
-	return e.write(tc, dst, buf)
+	err = e.write(tc, dst, buf)
+	// Both the wire buffer and the caller's frame (whose ownership passed to
+	// the transport) are done once the bytes are written.
+	PutBuf(buf)
+	PutBuf(b)
+	return err
 }
 
 func (e *TCPEndpoint) write(tc *tcpConn, dst int, buf []byte) error {

@@ -82,6 +82,14 @@ type Options struct {
 	// SparseDegreeExchange uses the asynchronous sparse all-to-all for the
 	// ghost-degree exchange.
 	SparseDegreeExchange bool
+	// HubThreshold tunes the adaptive intersection engine: rows whose
+	// oriented neighborhood A(v) has at least this many entries carry a
+	// packed hub bitmap, turning intersections against them into bit tests
+	// (hub ∩ hub into word-AND + popcount). 0 picks the engine default,
+	// negative disables the bitmaps; total bitmap memory is always capped at
+	// the size of the A-lists themselves. See the README's "hot path &
+	// kernel selection" section for tuning guidance.
+	HubThreshold int
 	// Codec selects the wire codec policy for message payloads. The empty
 	// string (or CodecAuto) picks tuned per-channel codecs: sorted
 	// adjacency shipments travel delta+varint compressed, small-integer
@@ -115,6 +123,7 @@ func (o Options) toConfig() core.Config {
 		LCC:                  o.LCC,
 		Partition:            o.Partition,
 		SparseDegreeExchange: o.SparseDegreeExchange,
+		HubThreshold:         o.HubThreshold,
 		Codec:                o.Codec,
 	}
 }
