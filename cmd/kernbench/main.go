@@ -8,15 +8,14 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/benchutil"
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/graph"
 )
 
@@ -115,8 +114,8 @@ func hubRows() []hubRow {
 		name string
 		g    *graph.Graph
 	}{
-		{"rhg-2^12", gen.RHG(gen.RHGConfig{N: 1 << 12, AvgDegree: 16, Gamma: 2.8, Seed: 42})},
-		{"rgg2d-2^12", gen.RGG2D(1<<12, 16, 42)},
+		{"rhg-2^12", benchutil.ByName("rhg-2^12").Build()},
+		{"rgg2d-2^12", benchutil.ByName("rgg2d-2^12").Build()},
 	}
 	var rows []hubRow
 	for _, spec := range graphs {
@@ -155,13 +154,15 @@ func hubRows() []hubRow {
 }
 
 func endToEnd() []e2eRow {
-	graphs := []struct {
+	var graphs []struct {
 		name string
 		g    *graph.Graph
-	}{
-		{"rgg2d-2^12", gen.RGG2D(1<<12, 16, 42)},
-		{"rhg-2^12", gen.RHG(gen.RHGConfig{N: 1 << 12, AvgDegree: 16, Gamma: 2.8, Seed: 42})},
-		{"rmat-2^13", gen.RMAT(gen.DefaultRMAT(13, 7))},
+	}
+	for _, s := range benchutil.Standins() {
+		graphs = append(graphs, struct {
+			name string
+			g    *graph.Graph
+		}{s.Name, s.Build()})
 	}
 	var rows []e2eRow
 	for _, spec := range graphs {
@@ -206,12 +207,7 @@ func main() {
 		Kernels:    kernelMatrix(),
 		HubRows:    hubRows(),
 	}
-	rep.QueueAllocs = queueSteadyStateAllocs()
+	rep.QueueAllocs = benchutil.QueueSteadyStateAllocs()
 	rep.EndToEnd = endToEnd()
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "kernbench:", err)
-		os.Exit(1)
-	}
+	benchutil.WriteJSON("kernbench", rep)
 }

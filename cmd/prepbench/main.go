@@ -1,0 +1,344 @@
+// Command prepbench measures the preprocessing pipeline (scatter → local
+// CSR build → ghost degrees → orientation → contraction) before and after
+// the PR 4 rework: the "seed" columns time faithful replicas of the
+// pre-rework sequential implementations (append-based scatter with two
+// binary searches per edge, map-based ghost discovery and row resolution),
+// the threads columns time the fused two-pass parallel pipeline. It also
+// records the end-to-end Result.Phases sub-phase breakdown for DITRIC and
+// CETRIC at Threads ∈ {1, N} and checks that every configuration counts
+// the same triangles. BENCH_pr4.json in the repo root is a recorded run:
+//
+//	go run ./cmd/prepbench > BENCH_pr4.json
+//
+// Stage walls are per-rank maxima (the phase-wall convention of Result),
+// measured with ranks run back to back, best of -reps. On a 1-core host
+// (GOMAXPROCS=1, recorded in the report) the threadsN columns cannot show
+// parallel speedup; the stable cross-machine signal there is the
+// seed-vs-new algorithmic ratio and the absence of a Threads=1 regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+type stageRow struct {
+	Graph           string  `json:"graph"`
+	Stage           string  `json:"stage"`
+	SeedMs          float64 `json:"seed_ms"`
+	Threads1Ms      float64 `json:"threads1_ms"`
+	ThreadsNMs      float64 `json:"threadsN_ms"`
+	SpeedupNVsSeed  float64 `json:"speedup_threadsN_vs_seed"`
+	Speedup1VsSeed  float64 `json:"speedup_threads1_vs_seed"`
+	SeedIsReplica   bool    `json:"seed_is_replica"`
+	PerRankMaxOverP bool    `json:"per_rank_max"`
+}
+
+type e2eRow struct {
+	Graph        string             `json:"graph"`
+	Algo         string             `json:"algo"`
+	Threads      int                `json:"threads"`
+	Triangles    uint64             `json:"triangles"`
+	PreprocessMs float64            `json:"preprocess_ms"`
+	PhasesMs     map[string]float64 `json:"phases_ms"`
+}
+
+type report struct {
+	Note       string     `json:"note"`
+	Go         string     `json:"go"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	PEs        int        `json:"pes"`
+	Threads    int        `json:"threads"`
+	Stages     []stageRow `json:"stages"`
+	EndToEnd   []e2eRow   `json:"end_to_end"`
+}
+
+func main() {
+	var (
+		p       = flag.Int("p", 8, "number of PEs")
+		threads = flag.Int("threads", 8, "worker threads for the threadsN columns")
+		reps    = flag.Int("reps", 5, "repetitions per measurement (best-of)")
+		quick   = flag.Bool("quick", false, "single repetition (CI smoke)")
+	)
+	flag.Parse()
+	if *quick {
+		*reps = 1
+	}
+	rep := report{
+		Note: "Preprocessing pipeline walls: seed columns replay the pre-PR sequential " +
+			"implementations (append scatter, map-based BuildLocal); threads columns run the " +
+			"fused two-pass parallel pipeline. Stage walls are max over ranks, best of reps; " +
+			"orientation/contraction are algorithmically unchanged at Threads=1, so their seed " +
+			"column equals threads1. End-to-end rows record Result.Phases (ms, max over PEs) " +
+			"with the preprocess/* sub-phase breakdown; triangle counts must agree everywhere.",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PEs:        *p,
+		Threads:    *threads,
+	}
+	for _, spec := range benchutil.Standins() {
+		g := spec.Build()
+		rep.Stages = append(rep.Stages, stages(spec.Name, g, *p, *threads, *reps)...)
+		rep.EndToEnd = append(rep.EndToEnd, endToEnd(spec.Name, g, *p, *threads)...)
+	}
+	benchutil.WriteJSON("prepbench", rep)
+}
+
+// bestOf returns the minimum wall of reps runs of f in milliseconds.
+func bestOf(reps int, f func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e6
+}
+
+// maxRankMs times f once per rank and returns the slowest rank, best of
+// reps rounds (the per-PE phase-wall convention).
+func maxRankMs(reps, p int, f func(rank int)) float64 {
+	best := 1e300
+	for i := 0; i < reps; i++ {
+		worst := 0.0
+		for rank := 0; rank < p; rank++ {
+			t0 := time.Now()
+			f(rank)
+			if d := float64(time.Since(t0).Nanoseconds()) / 1e6; d > worst {
+				worst = d
+			}
+		}
+		if worst < best {
+			best = worst
+		}
+	}
+	return best
+}
+
+func stages(name string, g *graph.Graph, p, threads, reps int) []stageRow {
+	pt := part.Uniform(uint64(g.NumVertices()), p)
+	edges := g.Edges()
+
+	row := func(stage string, seed, t1, tn float64, replica bool) stageRow {
+		return stageRow{
+			Graph: name, Stage: stage,
+			SeedMs: seed, Threads1Ms: t1, ThreadsNMs: tn,
+			SpeedupNVsSeed: seed / tn, Speedup1VsSeed: seed / t1,
+			// "total" mixes the whole-run scatter wall with per-rank maxima,
+			// so only the pure per-rank stages claim the max-over-ranks label.
+			SeedIsReplica: replica, PerRankMaxOverP: stage != "scatter" && stage != "total",
+		}
+	}
+
+	scSeed := bestOf(reps, func() { seedScatter(pt, edges) })
+	sc1 := bestOf(reps, func() { graph.ScatterEdgesPar(pt, edges, 1) })
+	scN := bestOf(reps, func() { graph.ScatterEdgesPar(pt, edges, threads) })
+	per := graph.ScatterEdgesPar(pt, edges, threads)
+
+	bSeed := maxRankMs(reps, p, func(r int) { seedBuildWalk(pt, r, per[r]) })
+	b1 := maxRankMs(reps, p, func(r int) { graph.BuildLocalPar(pt, r, per[r], 1) })
+	bN := maxRankMs(reps, p, func(r int) { graph.BuildLocalPar(pt, r, per[r], threads) })
+
+	// Orientation + contraction on degree-complete local views (ghost
+	// degrees come straight from the global graph; the exchange itself is
+	// communication, measured by the end-to-end runs).
+	locals := make([]*graph.LocalGraph, p)
+	for r := 0; r < p; r++ {
+		locals[r] = graph.BuildLocalPar(pt, r, per[r], threads)
+		for i, gid := range locals[r].Ghosts() {
+			locals[r].SetGhostDegree(int32(locals[r].NLocal()+i), g.Degree(gid))
+		}
+	}
+	o1 := maxRankMs(reps, p, func(r int) { graph.OrientLocalPar(locals[r], 1) })
+	oN := maxRankMs(reps, p, func(r int) { graph.OrientLocalPar(locals[r], threads) })
+	oris := make([]*graph.LocalOriented, p)
+	for r := 0; r < p; r++ {
+		oris[r] = graph.OrientLocalPar(locals[r], threads)
+	}
+	c1 := maxRankMs(reps, p, func(r int) { oris[r].ContractPar(1) })
+	cN := maxRankMs(reps, p, func(r int) { oris[r].ContractPar(threads) })
+
+	total := row("total", scSeed+bSeed+o1+c1, sc1+b1+o1+c1, scN+bN+oN+cN, true)
+	return []stageRow{
+		row("scatter", scSeed, sc1, scN, true),
+		row("build", bSeed, b1, bN, true),
+		row("orient", o1, o1, oN, false),
+		row("contract", c1, c1, cN, false),
+		total,
+	}
+}
+
+func endToEnd(name string, g *graph.Graph, p, threads int) []e2eRow {
+	var rows []e2eRow
+	var want uint64
+	first := true
+	for _, algo := range []core.Algorithm{core.AlgoDiTric, core.AlgoCetric} {
+		for _, th := range []int{1, threads} {
+			res, err := core.Run(algo, g, core.Config{P: p, Threads: th})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prepbench: %s/%s: %v\n", name, algo, err)
+				os.Exit(1)
+			}
+			if first {
+				want, first = res.Count, false
+			} else if res.Count != want {
+				fmt.Fprintf(os.Stderr, "prepbench: %s/%s threads=%d counted %d, want %d\n",
+					name, algo, th, res.Count, want)
+				os.Exit(1)
+			}
+			phases := make(map[string]float64, len(res.Phases))
+			for ph, d := range res.Phases {
+				phases[ph] = float64(d.Nanoseconds()) / 1e6
+			}
+			rows = append(rows, e2eRow{
+				Graph: name, Algo: string(algo), Threads: th, Triangles: res.Count,
+				PreprocessMs: phases[core.PhasePreprocess], PhasesMs: phases,
+			})
+		}
+	}
+	return rows
+}
+
+// seedScatter replays the pre-PR ScatterEdges: append with two binary
+// searches per edge.
+func seedScatter(pt *part.Partition, edges []graph.Edge) [][]graph.Edge {
+	out := make([][]graph.Edge, pt.P())
+	for _, e := range edges {
+		ru, rv := pt.Rank(e.U), pt.Rank(e.V)
+		out[ru] = append(out[ru], e)
+		if rv != ru {
+			out[rv] = append(out[rv], e)
+		}
+	}
+	return out
+}
+
+// seedBuildWalk replays the work of the pre-PR BuildLocal byte for byte —
+// map-based ghost discovery, map-resolved rows in the count and placement
+// passes, then the per-row sort + dedup + row-translate sweep — without
+// constructing the package-private LocalGraph, so the timing is an honest
+// "before" for the build stage.
+func seedBuildWalk(pt *part.Partition, rank int, edges []graph.Edge) int {
+	first, last := pt.Range(rank)
+	nLocal := int(last - first)
+	isLocal := func(v graph.Vertex) bool { return v >= first && v < last }
+	ghostRow := make(map[graph.Vertex]int32)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		if !isLocal(e.U) {
+			ghostRow[e.U] = 0
+		}
+		if !isLocal(e.V) {
+			ghostRow[e.V] = 0
+		}
+	}
+	ghostID := make([]graph.Vertex, 0, len(ghostRow))
+	for gv := range ghostRow {
+		ghostID = append(ghostID, gv)
+	}
+	slices.Sort(ghostID)
+	for i, gv := range ghostID {
+		ghostRow[gv] = int32(nLocal + i)
+	}
+	rowOf := func(v graph.Vertex) int32 {
+		if isLocal(v) {
+			return int32(v - first)
+		}
+		return ghostRow[v]
+	}
+	rows := nLocal + len(ghostID)
+	cnt := make([]int64, rows+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		cnt[rowOf(e.U)+1]++
+		cnt[rowOf(e.V)+1]++
+	}
+	off := make([]int64, rows+1)
+	for i := 1; i <= rows; i++ {
+		off[i] = off[i-1] + cnt[i]
+	}
+	adj := make([]graph.Vertex, off[rows])
+	pos := make([]int64, rows)
+	copy(pos, off[:rows])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		ru, rv := rowOf(e.U), rowOf(e.V)
+		adj[pos[ru]] = e.V
+		pos[ru]++
+		adj[pos[rv]] = e.U
+		pos[rv]++
+	}
+	w := int64(0)
+	newOff := make([]int64, rows+1)
+	adjRow := make([]int32, len(adj))
+	for r := 0; r < rows; r++ {
+		row := adj[off[r]:off[r+1]]
+		slices.Sort(row)
+		start := w
+		var last graph.Vertex
+		fst := true
+		lo := 0
+		for _, x := range row {
+			if !fst && x == last {
+				continue
+			}
+			adj[w] = x
+			if isLocal(x) {
+				adjRow[w] = int32(x - first)
+			} else {
+				// Forward exponential + binary search, as the seed did.
+				g := ghostSearchFrom(ghostID, x, lo)
+				adjRow[w] = int32(nLocal + g)
+				lo = g + 1
+			}
+			w++
+			last, fst = x, false
+		}
+		newOff[r] = start
+	}
+	newOff[rows] = w
+	deg := make([]int, rows)
+	for r := 0; r < nLocal; r++ {
+		deg[r] = int(newOff[r+1] - newOff[r])
+	}
+	return int(w) + len(deg)
+}
+
+func ghostSearchFrom(gid []graph.Vertex, x graph.Vertex, from int) int {
+	lo, hi := from, from
+	step := 1
+	for hi < len(gid) && gid[hi] < x {
+		lo = hi + 1
+		hi += step
+		step *= 2
+	}
+	if hi > len(gid) {
+		hi = len(gid)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if gid[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

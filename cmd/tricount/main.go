@@ -24,12 +24,12 @@ import (
 	"strings"
 	"time"
 
+	tricount "repro"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/part"
 	"repro/internal/transport"
 )
 
@@ -53,7 +53,7 @@ func run() error {
 		algoName  = flag.String("algo", "cetric", "algorithm: seq|ditric|ditric2|cetric|cetric2|tric|havoq|noagg")
 		p         = flag.Int("p", 8, "number of PEs")
 		threshold = flag.Int("delta", 0, "aggregation threshold δ in words (0 = O(|E_i|))")
-		threads   = flag.Int("threads", 1, "threads per PE (hybrid mode)")
+		threads   = flag.Int("threads", 1, "threads per PE (hybrid counting + parallel preprocessing)")
 		lcc       = flag.Bool("lcc", false, "compute local clustering coefficients")
 		sparse    = flag.Bool("sparse-degree", false, "sparse ghost degree exchange")
 		partBy    = flag.String("partition", "uniform", "1D partitioner: uniform|degree|wedges")
@@ -102,15 +102,11 @@ func run() error {
 	switch *partBy {
 	case "uniform":
 	case "degree", "wedges":
-		degrees := make([]int, g.NumVertices())
-		for v := range degrees {
-			degrees[v] = g.Degree(graph.Vertex(v))
-		}
-		cost := part.CostDegree
+		cost := tricount.CostDegree
 		if *partBy == "wedges" {
-			cost = part.CostWedges
+			cost = tricount.CostWedges
 		}
-		cfg.Partition = part.ByCost(degrees, *p, cost)
+		cfg.Partition = tricount.PartitionByCost(g, *p, cost)
 	default:
 		return fmt.Errorf("unknown partitioner %q", *partBy)
 	}
@@ -192,6 +188,9 @@ func human(v int64) string {
 	}
 }
 
+// printPhases lists phase walls in stable sorted order; sub-phases (keys
+// like "preprocess/scatter") sort directly after their parent phase and
+// print indented beneath it.
 func printPhases(res *core.Result) {
 	names := make([]string, 0, len(res.Phases))
 	for name := range res.Phases {
@@ -199,7 +198,11 @@ func printPhases(res *core.Result) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Printf("  phase %-12s %v\n", name, res.Phases[name].Round(time.Microsecond))
+		if _, sub, isSub := strings.Cut(name, "/"); isSub {
+			fmt.Printf("    · %-14s %v\n", sub, res.Phases[name].Round(time.Microsecond))
+		} else {
+			fmt.Printf("  phase %-12s %v\n", name, res.Phases[name].Round(time.Microsecond))
+		}
 	}
 }
 

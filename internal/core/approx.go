@@ -78,7 +78,7 @@ func RunApproxCetric(g *graph.Graph, cfg Config, acfg AMQConfig) (*ApproxResult,
 	if _, err := channelCodecs(cfg.Codec); err != nil {
 		return nil, err
 	}
-	perEdges := graph.ScatterEdges(pt, g.Edges())
+	perEdges := graph.ScatterEdgesPar(pt, g.Edges(), cfg.Threads)
 
 	outcomes := make([]*approxOutcome, cfg.P)
 	start := time.Now()
@@ -123,9 +123,9 @@ func RunApproxCetric(g *graph.Graph, cfg Config, acfg AMQConfig) (*ApproxResult,
 func approxCetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge,
 	cfg Config, acfg AMQConfig, out *approxOutcome) error {
 
-	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
 	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
-	ori := graph.OrientLocal(lg)
+	ori := graph.OrientLocalPar(lg, cfg.Threads)
 	state := newCountState(lg, cfg)
 
 	// Float Δ estimates per row (exact local contributions are merged in at
@@ -203,7 +203,7 @@ func approxCetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge,
 	out.exact12 = state.count
 
 	// Contraction + approximate global phase.
-	cut = ori.Contract()
+	cut = ori.ContractPar(cfg.Threads)
 	for r := 0; r < lg.NLocal(); r++ {
 		v := lg.GID(int32(r))
 		av := cut.Out(int32(r))

@@ -14,14 +14,16 @@ import (
 // Lemma 1 contains exactly the type-3 triangles.
 func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
 	sw := newStopwatch(pe.C, out)
-	sw.phase(PhasePreprocess)
-
-	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	sw.phase(PhaseBuild)
+	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
+	sw.phase(PhaseDegrees)
 	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	sw.phase(PhaseOrient)
 	// Expansion: orient every row, including ghosts (their visible
 	// neighborhoods are the rewired incoming cut edges).
-	ori := graph.OrientLocal(lg)
-	ori.BuildHubs(cfg.hubMinDegree())
+	ori := graph.OrientLocalPar(lg, cfg.Threads)
+	ori.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
+	sw.phase(PhasePreprocess) // residual: handler setup + the barrier
 	state := newCountState(lg, cfg)
 
 	// The global-phase receive handler intersects with the *contracted*
@@ -59,8 +61,8 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	}
 
 	sw.phase(PhaseContraction)
-	cut = ori.Contract()
-	cut.BuildHubs(cfg.hubMinDegree())
+	cut = ori.ContractPar(cfg.Threads)
+	cut.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
 
 	sw.phase(PhaseGlobal)
 	// Cut neighborhoods go out as (v, A(v)...) records with A(v) ID-sorted —

@@ -15,12 +15,14 @@ import (
 // at flush time (codec.go); the body itself is codec-agnostic.
 func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
 	sw := newStopwatch(pe.C, out)
-	sw.phase(PhasePreprocess)
-
-	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	sw.phase(PhaseBuild)
+	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
+	sw.phase(PhaseDegrees)
 	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
-	ori := graph.OrientLocalOnly(lg)
-	ori.BuildHubs(cfg.hubMinDegree())
+	sw.phase(PhaseOrient)
+	ori := graph.OrientLocalOnlyPar(lg, cfg.Threads)
+	ori.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
+	sw.phase(PhasePreprocess) // residual: handler setup + the barrier
 	state := newCountState(lg, cfg)
 
 	// Hybrid mode funnels receive-side intersections to a worker pool

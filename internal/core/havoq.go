@@ -23,11 +23,13 @@ import (
 // DESIGN.md §1.
 func havoqBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
 	sw := newStopwatch(pe.C, out)
-	sw.phase(PhasePreprocess)
-
-	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	sw.phase(PhaseBuild)
+	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
+	sw.phase(PhaseDegrees)
 	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
-	ori := graph.OrientLocalOnly(lg)
+	sw.phase(PhaseOrient)
+	ori := graph.OrientLocalOnlyPar(lg, cfg.Threads)
+	sw.phase(PhasePreprocess) // residual: handler setup + the barrier
 	state := newCountState(lg, cfg)
 
 	// closes reports whether the oriented edge (a,b) exists, for local a.

@@ -51,11 +51,30 @@ func hybridCetricLocal(lg *graph.LocalGraph, ori *graph.LocalOriented, state *co
 }
 
 // hybridSend is a deferred neighborhood shipment produced by a worker and
-// executed by the funneled communication goroutine.
+// executed by the funneled communication goroutine. payload points into a
+// pooled buffer: Queue.Send copies it, so the funnel returns the buffer to
+// payloadPool right after the send.
 type hybridSend struct {
 	dst     int
 	ch      int
-	payload []uint64
+	payload *[]uint64
+}
+
+// payloadPool recycles the worker → funnel shipment buffers (the free-list
+// counterpart of the queue's retained per-destination flush buffers): a
+// worker checks a buffer out and fills it, the funnel goroutine checks it
+// back in once Queue.Send has copied the record, so the steady-state local
+// phase allocates no payload memory per shipment.
+var payloadPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+func getPayload(capHint int) *[]uint64 {
+	bp := payloadPool.Get().(*[]uint64)
+	if cap(*bp) < capHint {
+		*bp = make([]uint64, 0, capHint)
+	} else {
+		*bp = (*bp)[:0]
+	}
+	return bp
 }
 
 // hybridDitricLocal runs DITRIC's combined local/send phase with
@@ -94,7 +113,8 @@ func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOrient
 		close(sends)
 	}()
 	for s := range sends {
-		pe.Q.Send(s.ch, s.dst, s.payload)
+		pe.Q.Send(s.ch, s.dst, *s.payload)
+		payloadPool.Put(s.payload)
 	}
 	for _, ws := range workers {
 		state.merge(ws)
@@ -104,10 +124,24 @@ func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOrient
 // ditricLocalRows processes local rows [lo,hi): local-local wedges are
 // intersected in place through the adaptive row-space pair kernels, remote
 // shipments go to sends (or directly to the queue when sends is nil — the
-// single-threaded path).
+// single-threaded path, which reuses one local buffer because Queue.Send
+// copies; the funneled path checks buffers out of payloadPool and the
+// funnel returns them after the send).
 func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
 	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool) {
 	first := lg.First
+	var buf []uint64  // reused across shipments on the sends == nil path
+	var hdr [2]uint64 // record header scratch, reused across shipments
+	ship := func(ch, dst int, head, av []uint64) {
+		if sends != nil {
+			bp := getPayload(len(head) + len(av))
+			*bp = append(append(*bp, head...), av...)
+			sends <- hybridSend{dst: dst, payload: bp, ch: ch}
+			return
+		}
+		buf = append(append(buf[:0], head...), av...)
+		pe.Q.Send(ch, dst, buf)
+	}
 	for r := lo; r < hi; r++ {
 		rv := int32(r)
 		v := lg.GID(rv)
@@ -125,28 +159,15 @@ func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori 
 			if noSurrogate {
 				// Ablation: one per-edge record per cut edge (Algorithm 2
 				// without Arifuzzaman's dedup).
-				payload := make([]uint64, 0, 2+len(av))
-				payload = append(payload, v, u)
-				payload = append(payload, av...)
-				j := pt.Rank(u)
-				if sends != nil {
-					sends <- hybridSend{dst: j, payload: payload, ch: chNeighEdge}
-				} else {
-					pe.Q.Send(chNeighEdge, j, payload)
-				}
+				hdr[0], hdr[1] = v, u
+				ship(chNeighEdge, pt.Rank(u), hdr[:2], av)
 				continue
 			}
 			// Surrogate dedup: av is ID-sorted and ranks own contiguous
 			// ranges, so equal destinations are adjacent.
 			if j := pt.Rank(u); j != lastRank {
-				payload := make([]uint64, 0, 1+len(av))
-				payload = append(payload, v)
-				payload = append(payload, av...)
-				if sends != nil {
-					sends <- hybridSend{dst: j, payload: payload, ch: chNeigh}
-				} else {
-					pe.Q.Send(chNeigh, j, payload)
-				}
+				hdr[0] = v
+				ship(chNeigh, j, hdr[:1], av)
 				lastRank = j
 			}
 		}

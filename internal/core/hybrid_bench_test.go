@@ -1,0 +1,81 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// BenchmarkHybridRecvSteadyState measures allocs/op of the hybrid receive
+// path: the funneled dispatcher submitting received neighborhoods into the
+// recvPool, workers row-translating and intersecting them, and the release
+// callback returning the (stand-in) arena. Everything is pooled or private
+// per worker, so the steady state must report zero allocations — this is
+// the third leg of CI's allocation-regression gate, next to the queue
+// flush/receive path and the adaptive intersection kernels.
+func BenchmarkHybridRecvSteadyState(b *testing.B) {
+	g := gen.RGG2D(1<<10, 8, 42)
+	const p = 4
+	pt := part.Uniform(uint64(g.NumVertices()), p)
+	per := graph.ScatterEdges(pt, g.Edges())
+	lg := graph.BuildLocal(pt, 1, per[1])
+	for i, gid := range lg.Ghosts() {
+		lg.SetGhostDegree(int32(lg.NLocal()+i), g.Degree(gid))
+	}
+	ori := graph.OrientLocalOnly(lg)
+	ori.BuildHubs(graph.DefaultHubMinDegree)
+
+	cfg := Config{P: p}
+	pool := newRecvPool(2, lg, cfg, func() *graph.LocalOriented { return ori })
+
+	// Replayed shipments: (v, A(v)) records in DITRIC's wire shape, with v a
+	// ghost of this PE and the list a sorted mix of local and remote IDs —
+	// local rows' neighborhoods have exactly that form.
+	if lg.NGhost() == 0 {
+		b.Fatal("fixture has no ghosts; pick a bigger graph or more PEs")
+	}
+	type rec struct {
+		v    graph.Vertex
+		list []uint64
+	}
+	var recs []rec
+	for r := 0; r < lg.NLocal() && len(recs) < 64; r++ {
+		if row := lg.RowNeighbors(int32(r)); len(row) >= 2 {
+			recs = append(recs, rec{v: lg.Ghosts()[0], list: row})
+		}
+	}
+	if len(recs) == 0 {
+		b.Fatal("no records to replay")
+	}
+
+	var done atomic.Int64
+	release := func() { done.Add(1) }
+	var sent int64
+	round := func() {
+		for _, rc := range recs {
+			pool.submit(rc.v, rc.list, release)
+		}
+		sent += int64(len(recs))
+		for done.Load() < sent {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 16; i++ {
+		round() // warm the per-worker translation scratch
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	b.StopTimer()
+	state := newCountState(lg, cfg)
+	pool.drain(state)
+	if state.count == 0 {
+		b.Fatal("receive path found no triangles; the benchmark is vacuous")
+	}
+}

@@ -16,14 +16,15 @@ import (
 // crashes, and it shows up here as Metrics.PeakBuffered.
 func tricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, out *peOutcome) error {
 	sw := newStopwatch(pe.C, out)
-	sw.phase(PhasePreprocess)
-
-	lg := graph.BuildLocal(pt, pe.Rank, edges)
+	sw.phase(PhaseBuild)
+	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
+	sw.phase(PhaseOrient)
 	// No ghost degree exchange: ID orientation needs no remote information.
-	ori := graph.OrientLocalByID(lg)
+	ori := graph.OrientLocalByIDPar(lg, cfg.Threads)
 	// Without the degree orientation, hub rows keep their full
 	// out-neighborhoods — exactly what the packed hub bitmaps are for.
-	ori.BuildHubs(cfg.hubMinDegree())
+	ori.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
+	sw.phase(PhasePreprocess) // residual: state setup, matching the other bodies
 	state := newCountState(lg, cfg)
 
 	sw.phase(PhaseLocal)

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/part"
 )
@@ -34,50 +35,89 @@ type LocalGraph struct {
 
 // BuildLocal constructs the local view for one PE from the edges incident to
 // at least one of its vertices. Edges with neither endpoint local are
-// rejected; self loops are dropped; duplicates are merged.
+// rejected; self loops are dropped; duplicates are merged. Sequential;
+// BuildLocalPar is the threaded variant.
 func BuildLocal(pt *part.Partition, rank int, edges []Edge) *LocalGraph {
+	return BuildLocalPar(pt, rank, edges, 1)
+}
+
+// BuildLocalPar is BuildLocal parallelized over threads workers as a fused
+// multi-pass pipeline:
+//
+//  1. Ghost discovery is sort-based, not map-based: workers collect the
+//     non-local endpoints of their edge chunks, sort and dedup each chunk,
+//     and a k-way merge yields the ascending ghost-ID array.
+//  2. Each edge endpoint is resolved to its row index once (locals by
+//     offset, ghosts by binary search) and memoized, so the count and
+//     placement passes are array reads instead of repeated map lookups.
+//  3. Row counting and placement are parallel (atomic per-row counters and
+//     cursors when threads > 1); placement order within a row is
+//     thread-dependent but irrelevant, because
+//  4. every row is sorted, deduplicated, and row-translated independently —
+//     rows are disjoint, so the final compaction into exact-size arrays
+//     fans out over rows.
+//
+// The result is byte-identical for every thread count.
+func BuildLocalPar(pt *part.Partition, rank int, edges []Edge, threads int) *LocalGraph {
 	lo, hi := pt.Range(rank)
 	l := &LocalGraph{
-		Part:     pt,
-		Rank:     rank,
-		First:    lo,
-		Last:     hi,
-		nLocal:   int(hi - lo),
-		ghostRow: make(map[Vertex]int32),
+		Part:   pt,
+		Rank:   rank,
+		First:  lo,
+		Last:   hi,
+		nLocal: int(hi - lo),
 	}
-	// Discover ghosts.
-	for _, e := range edges {
-		if e.U == e.V {
-			continue
-		}
-		uLoc, vLoc := l.isLocal(e.U), l.isLocal(e.V)
-		if !uLoc && !vLoc {
-			panic(fmt.Sprintf("graph: edge (%d,%d) has no endpoint on PE %d [%d,%d)", e.U, e.V, rank, lo, hi))
-		}
-		if !uLoc {
-			l.ghostRow[e.U] = 0
-		}
-		if !vLoc {
-			l.ghostRow[e.V] = 0
-		}
-	}
-	l.ghostID = make([]Vertex, 0, len(l.ghostRow))
-	for g := range l.ghostRow {
-		l.ghostID = append(l.ghostID, g)
-	}
-	slices.Sort(l.ghostID)
+	// Pass 1: sort-based ghost discovery (also validates edge locality).
+	l.ghostID = discoverGhosts(lo, hi, rank, edges, threads)
+	l.ghostRow = make(map[Vertex]int32, len(l.ghostID))
 	for i, g := range l.ghostID {
 		l.ghostRow[g] = int32(l.nLocal + i)
 	}
-
 	rows := l.nLocal + len(l.ghostID)
+
+	// Pass 2 (fused memo + count): resolve the row of every edge endpoint
+	// once (self loops become -1) and count entries per row in the same
+	// sweep. With one worker the plain loop runs; with several, per-row
+	// atomic counters keep the pass lock-free (rows are hit randomly, so
+	// contention is negligible, and the per-row sort below erases placement
+	// order anyway).
+	rowOf := make([]int32, 2*len(edges))
 	cnt := make([]int64, rows+1)
-	for _, e := range edges {
-		if e.U == e.V {
-			continue
+	// Resolution goes through the ghost map built from the discovery result
+	// (reads from many goroutines are safe): for ghost-heavy inputs a map
+	// probe beats a log|ghosts| binary search per endpoint.
+	rowLookup := func(x Vertex) int32 {
+		if l.isLocal(x) {
+			return int32(x - l.First)
 		}
-		cnt[l.Row(e.U)+1]++
-		cnt[l.Row(e.V)+1]++
+		return l.ghostRow[x] // discovery guarantees membership
+	}
+	w := workersFor(threads, len(edges), parallelChunk)
+	if w == 1 {
+		for i, e := range edges {
+			if e.U == e.V {
+				rowOf[2*i] = -1
+				continue
+			}
+			ru, rv := rowLookup(e.U), rowLookup(e.V)
+			rowOf[2*i], rowOf[2*i+1] = ru, rv
+			cnt[ru+1]++
+			cnt[rv+1]++
+		}
+	} else {
+		parallelFor(threads, len(edges), parallelChunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				if e.U == e.V {
+					rowOf[2*i] = -1
+					continue
+				}
+				ru, rv := rowLookup(e.U), rowLookup(e.V)
+				rowOf[2*i], rowOf[2*i+1] = ru, rv
+				atomic.AddInt64(&cnt[ru+1], 1)
+				atomic.AddInt64(&cnt[rv+1], 1)
+			}
+		})
 	}
 	off := make([]int64, rows+1)
 	for i := 1; i <= rows; i++ {
@@ -86,53 +126,122 @@ func BuildLocal(pt *part.Partition, rank int, edges []Edge) *LocalGraph {
 	adj := make([]Vertex, off[rows])
 	pos := make([]int64, rows)
 	copy(pos, off[:rows])
-	for _, e := range edges {
-		if e.U == e.V {
-			continue
-		}
-		ru, rv := l.Row(e.U), l.Row(e.V)
-		adj[pos[ru]] = e.V
-		pos[ru]++
-		adj[pos[rv]] = e.U
-		pos[rv]++
-	}
-	// Sort + dedup rows, row-translating in the same pass: every entry is a
-	// local vertex or a known ghost, sorted within its row, so ghosts resolve
-	// by forward galloping through the sorted ghost-ID array (no hashing) and
-	// never need resolution again — orientation, local phases, and
-	// receive-side intersections all work on the translated row indices.
-	w := int64(0)
-	newOff := make([]int64, rows+1)
-	adjRow := make([]int32, len(adj))
-	for r := 0; r < rows; r++ {
-		row := adj[off[r]:off[r+1]]
-		slices.Sort(row)
-		start := w
-		var last Vertex
-		first := true
-		lo := 0
-		for _, x := range row {
-			if !first && x == last {
+	if w == 1 {
+		for i := 0; i < len(edges); i++ {
+			ru, rv := rowOf[2*i], rowOf[2*i+1]
+			if ru < 0 {
 				continue
 			}
-			adj[w] = x
-			if l.isLocal(x) {
-				adjRow[w] = int32(x - l.First)
-			} else {
-				g, ok := l.ghostSearch(x, lo)
-				if !ok {
-					panic(fmt.Sprintf("graph: adjacency entry %d is neither local nor ghost on PE %d", x, rank))
-				}
-				adjRow[w] = int32(l.nLocal + g)
-				lo = g + 1
-			}
-			w++
-			last, first = x, false
+			adj[pos[ru]] = edges[i].V
+			pos[ru]++
+			adj[pos[rv]] = edges[i].U
+			pos[rv]++
 		}
-		newOff[r] = start
+	} else {
+		parallelFor(threads, len(edges), parallelChunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ru, rv := rowOf[2*i], rowOf[2*i+1]
+				if ru < 0 {
+					continue
+				}
+				adj[atomic.AddInt64(&pos[ru], 1)-1] = edges[i].V
+				adj[atomic.AddInt64(&pos[rv], 1)-1] = edges[i].U
+			}
+		})
 	}
-	newOff[rows] = w
-	l.off, l.adj, l.adjRow = newOff, adj[:w], adjRow[:w]
+
+	// Pass 3: sort + dedup + row-translate every row. Entries are sorted
+	// within their row, so ghosts resolve by forward galloping through the
+	// sorted ghost-ID array (no hashing) and never need resolution again —
+	// orientation, local phases, and receive-side intersections all work on
+	// the translated row indices.
+	//
+	// With one worker the sweep is fully fused: rows compact in place
+	// behind a running write cursor. With several, compaction is split —
+	// rows sort + dedup in place (disjoint slices of adj fan out over
+	// workers), a sequential prefix sum over the surviving lengths fixes
+	// the final offsets, and a second parallel sweep copies into exact-size
+	// arrays while translating. The result is identical either way.
+	nLoc := l.nLocal
+	if w == 1 {
+		wr := int64(0)
+		newOff := make([]int64, rows+1)
+		adjRow := make([]int32, len(adj))
+		for r := 0; r < rows; r++ {
+			row := adj[off[r]:off[r+1]]
+			slices.Sort(row)
+			start := wr
+			var last Vertex
+			first := true
+			gpos := 0
+			for _, x := range row {
+				if !first && x == last {
+					continue
+				}
+				adj[wr] = x
+				if l.isLocal(x) {
+					adjRow[wr] = int32(x - l.First)
+				} else {
+					g, ok := l.ghostSearch(x, gpos)
+					if !ok {
+						panic(fmt.Sprintf("graph: adjacency entry %d is neither local nor ghost on PE %d", x, rank))
+					}
+					adjRow[wr] = int32(nLoc + g)
+					gpos = g + 1
+				}
+				wr++
+				last, first = x, false
+			}
+			newOff[r] = start
+		}
+		newOff[rows] = wr
+		l.off, l.adj, l.adjRow = newOff, adj[:wr], adjRow[:wr]
+	} else {
+		uniq := make([]int64, rows)
+		parallelFor(threads, rows, 64, func(_, rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				row := adj[off[r]:off[r+1]]
+				slices.Sort(row)
+				u := 0
+				for k, x := range row {
+					if k > 0 && x == row[u-1] {
+						continue
+					}
+					row[u] = x
+					u++
+				}
+				uniq[r] = int64(u)
+			}
+		})
+		newOff := make([]int64, rows+1)
+		for r := 0; r < rows; r++ {
+			newOff[r+1] = newOff[r] + uniq[r]
+		}
+		outAdj := make([]Vertex, newOff[rows])
+		adjRow := make([]int32, newOff[rows])
+		parallelFor(threads, rows, 64, func(_, rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				src := adj[off[r] : off[r]+uniq[r]]
+				dst := outAdj[newOff[r]:newOff[r+1]]
+				dstR := adjRow[newOff[r]:newOff[r+1]]
+				gpos := 0
+				for k, x := range src {
+					dst[k] = x
+					if l.isLocal(x) {
+						dstR[k] = int32(x - l.First)
+					} else {
+						g, ok := l.ghostSearch(x, gpos)
+						if !ok {
+							panic(fmt.Sprintf("graph: adjacency entry %d is neither local nor ghost on PE %d", x, rank))
+						}
+						dstR[k] = int32(nLoc + g)
+						gpos = g + 1
+					}
+				}
+			}
+		})
+		l.off, l.adj, l.adjRow = newOff, outAdj, adjRow
+	}
 
 	// Local degrees are exact (1D partition: every incident edge is visible);
 	// ghost degrees are unknown until the degree exchange.
@@ -144,6 +253,118 @@ func BuildLocal(pt *part.Partition, rank int, edges []Edge) *LocalGraph {
 		l.deg[r] = -1
 	}
 	return l
+}
+
+// discoverGhosts returns the ascending, deduplicated non-local endpoints of
+// edges for the PE owning [first, last): workers collect the non-local
+// endpoints of their chunks, sort + dedup each chunk in parallel, and a
+// k-way merge (k = workers, so tiny) folds them together. Edges with no
+// endpoint in [first, last) panic, self loops are ignored — the same
+// contract as the map-based discovery it replaces.
+func discoverGhosts(first, last Vertex, rank int, edges []Edge, threads int) []Vertex {
+	w := workersFor(threads, len(edges), parallelChunk)
+	chunks := make([][]Vertex, w)
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		// U- and V-side ghosts are collected separately, dropping
+		// immediately repeated endpoints: edge lists arrive grouped by
+		// ascending U, so the U-side stream is typically already sorted
+		// (skipping its comparison sort entirely — an O(n) check guards
+		// arbitrary inputs) and a ghost U with several local neighbors
+		// repeats back to back, so most duplicates never reach a sort.
+		bufU := make([]Vertex, 0, 64)
+		bufV := make([]Vertex, 0, 64)
+		lastU, lastV := ^Vertex(0), ^Vertex(0)
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				continue
+			}
+			uLoc := e.U >= first && e.U < last
+			vLoc := e.V >= first && e.V < last
+			if !uLoc && !vLoc {
+				panic(fmt.Sprintf("graph: edge (%d,%d) has no endpoint on PE %d [%d,%d)", e.U, e.V, rank, first, last))
+			}
+			if !uLoc && e.U != lastU {
+				bufU = append(bufU, e.U)
+				lastU = e.U
+			}
+			if !vLoc && e.V != lastV {
+				bufV = append(bufV, e.V)
+				lastV = e.V
+			}
+		}
+		chunks[worker] = mergeSortedDedup(sortedDedup(bufU), sortedDedup(bufV))
+	})
+	if w == 1 {
+		return chunks[0]
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]Vertex, 0, total)
+	idx := make([]int, w)
+	for {
+		best := -1
+		var bv Vertex
+		for k := 0; k < w; k++ {
+			if idx[k] < len(chunks[k]) && (best < 0 || chunks[k][idx[k]] < bv) {
+				best, bv = k, chunks[k][idx[k]]
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		idx[best]++
+		if len(out) == 0 || out[len(out)-1] != bv {
+			out = append(out, bv)
+		}
+	}
+}
+
+// sortedDedup sorts s unless it is already ascending (an O(n) check — the
+// common case for U-side ghost streams) and removes duplicates in place.
+func sortedDedup(s []Vertex) []Vertex {
+	if !slices.IsSorted(s) {
+		slices.Sort(s)
+	}
+	u := 0
+	for k, x := range s {
+		if k > 0 && x == s[u-1] {
+			continue
+		}
+		s[u] = x
+		u++
+	}
+	return s[:u]
+}
+
+// mergeSortedDedup merges two ascending deduplicated lists into one.
+func mergeSortedDedup(a, b []Vertex) []Vertex {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Vertex, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 func (l *LocalGraph) isLocal(v Vertex) bool { return v >= l.First && v < l.Last }
@@ -308,15 +529,81 @@ func (l *LocalGraph) InterfaceVertices() int {
 // ScatterEdges splits a global edge list into one slice per PE, giving each
 // edge to the owners of both endpoints (once if they coincide). It mirrors
 // how a distributed loader or communication-free generator would materialize
-// per-PE inputs.
+// per-PE inputs. Sequential; ScatterEdgesPar is the threaded variant.
 func ScatterEdges(pt *part.Partition, edges []Edge) [][]Edge {
-	out := make([][]Edge, pt.P())
-	for _, e := range edges {
-		ru, rv := pt.Rank(e.U), pt.Rank(e.V)
-		out[ru] = append(out[ru], e)
-		if rv != ru {
-			out[rv] = append(out[rv], e)
+	return ScatterEdgesPar(pt, edges, 1)
+}
+
+// ScatterEdgesPar is ScatterEdges as a two-pass counting layout instead of
+// append-with-growth: a count pass builds per-worker rank histograms (and
+// memoizes both endpoint ranks, so the binary searches run once per edge,
+// not twice), prefix sums over (rank, worker) turn them into exact
+// placement offsets, and a placement pass writes each edge directly into
+// its destination slices. Workers own static contiguous blocks of the edge
+// list, so worker-major placement preserves the input order per PE — the
+// output is byte-identical to the sequential path for every thread count.
+func ScatterEdgesPar(pt *part.Partition, edges []Edge, threads int) [][]Edge {
+	p := pt.P()
+	out := make([][]Edge, p)
+	if len(edges) == 0 {
+		return out
+	}
+	if p == 1 {
+		// Single owner: the histograms would be vacuous, but the range
+		// validation the Rank calls perform on every other path must not be
+		// skipped — a bad ID caught here panics at load time, not deep
+		// inside a later phase.
+		n := pt.N()
+		parallelFor(threads, len(edges), parallelChunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if e := edges[i]; e.U >= n || e.V >= n {
+					panic(fmt.Sprintf("part: vertex %d out of range n=%d", max(e.U, e.V), n))
+				}
+			}
+		})
+		out[0] = slices.Clone(edges)
+		return out
+	}
+	w := workersFor(threads, len(edges), parallelChunk)
+	ranks := make([]int32, 2*len(edges))
+	cnt := make([]int64, w*p) // per-worker rank histograms
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		c := cnt[worker*p : (worker+1)*p]
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			ru := int32(pt.Rank(e.U))
+			rv := int32(pt.Rank(e.V))
+			ranks[2*i], ranks[2*i+1] = ru, rv
+			c[ru]++
+			if rv != ru {
+				c[rv]++
+			}
+		}
+	})
+	// Prefix sums: pos[worker*p+pe] is worker's first write index in out[pe].
+	pos := make([]int64, w*p)
+	for pe := 0; pe < p; pe++ {
+		total := int64(0)
+		for worker := 0; worker < w; worker++ {
+			pos[worker*p+pe] = total
+			total += cnt[worker*p+pe]
+		}
+		if total > 0 {
+			out[pe] = make([]Edge, total)
 		}
 	}
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		cur := pos[worker*p : (worker+1)*p]
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			ru, rv := ranks[2*i], ranks[2*i+1]
+			out[ru][cur[ru]] = e
+			cur[ru]++
+			if rv != ru {
+				out[rv][cur[rv]] = e
+				cur[rv]++
+			}
+		}
+	})
 	return out
 }

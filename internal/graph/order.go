@@ -30,8 +30,12 @@ type OutGraph struct {
 // BuildHubs builds the packed hub-bitmap index: vertices with |N⁺(v)| ≥
 // minDeg get a bitset over the vertex domain, memory-capped at the size of
 // the out-lists themselves (largest rows first). minDeg ≤ 0 disables it.
-func (o *OutGraph) BuildHubs(minDeg int) {
-	o.hubs = buildHubs(o.NumVertices(), o.off, o.out, minDeg)
+func (o *OutGraph) BuildHubs(minDeg int) { o.BuildHubsPar(minDeg, 1) }
+
+// BuildHubsPar is BuildHubs with the bitmap fills fanned out over threads
+// workers.
+func (o *OutGraph) BuildHubsPar(minDeg, threads int) {
+	o.hubs = buildHubs(o.NumVertices(), o.off, o.out, minDeg, threads)
 }
 
 // NumHubs returns the number of vertices carrying a hub bitmap.

@@ -62,8 +62,10 @@ func (h *hubIndex) bitset(row int) Bitset {
 // buildHubs indexes rows with list length ≥ minDeg, capping total bitmap
 // memory at the memory of the lists themselves (one word per entry): with
 // stride words per bitmap, at most len(entries)/stride rows get one, largest
-// rows first. minDeg ≤ 0 disables the index.
-func buildHubs(rows int, off []int64, entries []Vertex, minDeg int) hubIndex {
+// rows first. minDeg ≤ 0 disables the index. Candidate selection is
+// sequential (cheap); the bitmap fills fan out over threads workers — each
+// hub owns a disjoint stride of the backing word array.
+func buildHubs(rows int, off []int64, entries []Vertex, minDeg, threads int) hubIndex {
 	var h hubIndex
 	if minDeg <= 0 || rows == 0 || len(entries) == 0 {
 		return h
@@ -96,22 +98,30 @@ func buildHubs(rows int, off []int64, entries []Vertex, minDeg int) hubIndex {
 	h.perRow = make([]Bitset, rows)
 	h.hubs = len(cand)
 	h.bits = make([]uint64, len(cand)*h.stride)
-	for i, r := range cand {
-		bs := Bitset(h.bits[i*h.stride : (i+1)*h.stride])
-		for _, x := range entries[off[r]:off[r+1]] {
-			bs.Set(x)
+	parallelFor(threads, len(cand), 4, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := cand[i]
+			bs := Bitset(h.bits[i*h.stride : (i+1)*h.stride])
+			for _, x := range entries[off[r]:off[r+1]] {
+				bs.Set(x)
+			}
+			h.perRow[r] = bs
 		}
-		h.perRow[r] = bs
-	}
+	})
 	return h
 }
 
 // BuildHubs builds the packed hub-bitmap index over the row-translated
 // A-lists: rows with |A(v)| ≥ minDeg get a bitset over the row domain
 // (memory-capped; see buildHubs). minDeg ≤ 0 disables the index, leaving
-// every intersection on the merge/gallop kernels.
-func (o *LocalOriented) BuildHubs(minDeg int) {
-	o.hubs = buildHubs(o.L.Rows(), o.off, o.rowOut, minDeg)
+// every intersection on the merge/gallop kernels. Sequential; BuildHubsPar
+// is the threaded variant.
+func (o *LocalOriented) BuildHubs(minDeg int) { o.BuildHubsPar(minDeg, 1) }
+
+// BuildHubsPar is BuildHubs with the bitmap fills fanned out over threads
+// workers (hubs own disjoint strides of the backing array).
+func (o *LocalOriented) BuildHubsPar(minDeg, threads int) {
+	o.hubs = buildHubs(o.L.Rows(), o.off, o.rowOut, minDeg, threads)
 }
 
 // NumHubs returns the number of rows carrying a hub bitmap.
@@ -122,56 +132,69 @@ func (o *LocalOriented) NumHubs() int { return o.hubs.hubs }
 // adjacency (l.deg[xr], no ghost-map lookups) and is written out, not passed
 // as a closure — an indirect call per adjacency entry is measurable here.
 //
-// Both layouts are filled in one pass each row: the adjacency is sorted by
-// global ID, local rows translate in place, ghost rows (which sort after
-// all locals and are in ID order already) are buffered per row and appended
-// — no comparison sort is needed.
-func orientDegree(l *LocalGraph, hi int) *LocalOriented {
+// Two-pass counting layout, both passes parallel over rows (rows are
+// independent): a count pass fills the per-row out-degrees, a sequential
+// prefix sum turns them into offsets, and a placement pass fills both
+// layouts in one sweep per row — the adjacency is sorted by global ID, local
+// rows translate in place, ghost rows (which sort after all locals and are
+// in ID order already) are buffered per worker and appended, so no
+// comparison sort is needed.
+func orientDegree(l *LocalGraph, hi, threads int) *LocalOriented {
 	rows := l.Rows()
 	off := make([]int64, rows+1)
-	for r := 0; r < hi; r++ {
-		v, dv := l.GID(int32(r)), l.Degree(int32(r))
-		adj := l.RowNeighbors(int32(r))
-		adjR := l.RowNeighborRows(int32(r))
-		cnt := int64(0)
-		for i, x := range adj {
-			if Less(dv, v, l.deg[adjR[i]], x) {
-				cnt++
+	parallelFor(threads, hi, orientChunk, func(_, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			v, dv := l.GID(int32(r)), l.Degree(int32(r))
+			adj := l.RowNeighbors(int32(r))
+			adjR := l.RowNeighborRows(int32(r))
+			cnt := int64(0)
+			for i, x := range adj {
+				if Less(dv, v, l.deg[adjR[i]], x) {
+					cnt++
+				}
 			}
+			off[r+1] = cnt
 		}
-		off[r+1] = off[r] + cnt
-	}
-	for r := hi; r < rows; r++ {
-		off[r+1] = off[r]
+	})
+	for r := 0; r < rows; r++ {
+		off[r+1] += off[r]
 	}
 	o := &LocalOriented{L: l, off: off,
 		out: make([]Vertex, off[rows]), rowOut: make([]Vertex, off[rows])}
-	var ghosts []Vertex // per-row scratch for ghost row indices
+	scratch := make([][]Vertex, workersFor(threads, hi, orientChunk))
 	nLoc := int32(l.NLocal())
-	for r := 0; r < hi; r++ {
-		v, dv := l.GID(int32(r)), l.Degree(int32(r))
-		adj := l.RowNeighbors(int32(r))
-		adjR := l.RowNeighborRows(int32(r))
-		w, rw := off[r], off[r]
-		ghosts = ghosts[:0]
-		for i, x := range adj {
-			xr := adjR[i]
-			if !Less(dv, v, l.deg[xr], x) {
-				continue
+	parallelFor(threads, hi, orientChunk, func(worker, rlo, rhi int) {
+		ghosts := scratch[worker] // per-worker scratch for ghost row indices
+		for r := rlo; r < rhi; r++ {
+			v, dv := l.GID(int32(r)), l.Degree(int32(r))
+			adj := l.RowNeighbors(int32(r))
+			adjR := l.RowNeighborRows(int32(r))
+			w, rw := off[r], off[r]
+			ghosts = ghosts[:0]
+			for i, x := range adj {
+				xr := adjR[i]
+				if !Less(dv, v, l.deg[xr], x) {
+					continue
+				}
+				o.out[w] = x
+				w++
+				if xr < nLoc {
+					o.rowOut[rw] = Vertex(xr)
+					rw++
+				} else {
+					ghosts = append(ghosts, Vertex(xr))
+				}
 			}
-			o.out[w] = x
-			w++
-			if xr < nLoc {
-				o.rowOut[rw] = Vertex(xr)
-				rw++
-			} else {
-				ghosts = append(ghosts, Vertex(xr))
-			}
+			copy(o.rowOut[rw:off[r+1]], ghosts)
 		}
-		copy(o.rowOut[rw:off[r+1]], ghosts)
-	}
+		scratch[worker] = ghosts
+	})
 	return o
 }
+
+// orientChunk is the number of rows per stolen chunk in the orientation,
+// contraction, and row sort/dedup passes.
+const orientChunk = 128
 
 // requireDegrees panics unless every ghost degree is known: degree
 // orientation compares against the degrees of neighbors, which may be ghosts
@@ -185,61 +208,80 @@ func requireDegrees(l *LocalGraph) {
 }
 
 // OrientLocal computes the A-lists for every row (locals and ghosts).
-func OrientLocal(l *LocalGraph) *LocalOriented {
+func OrientLocal(l *LocalGraph) *LocalOriented { return OrientLocalPar(l, 1) }
+
+// OrientLocalPar is OrientLocal over threads workers.
+func OrientLocalPar(l *LocalGraph, threads int) *LocalOriented {
 	requireDegrees(l)
-	return orientDegree(l, l.Rows())
+	return orientDegree(l, l.Rows(), threads)
 }
 
 // OrientLocalOnly computes A-lists for local rows only, leaving ghost rows
 // empty. DITRIC uses this: it never expands ghost neighborhoods, which is
 // exactly the preprocessing work it saves compared to CETRIC.
-func OrientLocalOnly(l *LocalGraph) *LocalOriented {
+func OrientLocalOnly(l *LocalGraph) *LocalOriented { return OrientLocalOnlyPar(l, 1) }
+
+// OrientLocalOnlyPar is OrientLocalOnly over threads workers.
+func OrientLocalOnlyPar(l *LocalGraph, threads int) *LocalOriented {
 	requireDegrees(l)
-	return orientDegree(l, l.NLocal())
+	return orientDegree(l, l.NLocal(), threads)
 }
 
 // OrientLocalByID orients the expanded local graph by vertex ID only (no
 // degrees), used by the TriC baseline which skips the degree orientation.
-// It needs no ghost-degree exchange. The same two-pass/one-pass structure as
-// orientDegree, specialized for the x > v test.
-func OrientLocalByID(l *LocalGraph) *LocalOriented {
+// It needs no ghost-degree exchange.
+func OrientLocalByID(l *LocalGraph) *LocalOriented { return OrientLocalByIDPar(l, 1) }
+
+// OrientLocalByIDPar is OrientLocalByID over threads workers — the same
+// two-pass parallel structure as orientDegree, specialized for the x > v
+// test.
+func OrientLocalByIDPar(l *LocalGraph, threads int) *LocalOriented {
 	rows := l.Rows()
 	off := make([]int64, rows+1)
-	for r := 0; r < rows; r++ {
-		v := l.GID(int32(r))
-		cnt := int64(0)
-		for _, x := range l.RowNeighbors(int32(r)) {
-			if x > v {
-				cnt++
+	parallelFor(threads, rows, orientChunk, func(_, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			v := l.GID(int32(r))
+			cnt := int64(0)
+			for _, x := range l.RowNeighbors(int32(r)) {
+				if x > v {
+					cnt++
+				}
 			}
+			off[r+1] = cnt
 		}
-		off[r+1] = off[r] + cnt
+	})
+	for r := 0; r < rows; r++ {
+		off[r+1] += off[r]
 	}
 	o := &LocalOriented{L: l, off: off,
 		out: make([]Vertex, off[rows]), rowOut: make([]Vertex, off[rows])}
-	var ghosts []Vertex
+	scratch := make([][]Vertex, workersFor(threads, rows, orientChunk))
 	nLoc := int32(l.NLocal())
-	for r := 0; r < rows; r++ {
-		v := l.GID(int32(r))
-		adj := l.RowNeighbors(int32(r))
-		adjR := l.RowNeighborRows(int32(r))
-		w, rw := off[r], off[r]
-		ghosts = ghosts[:0]
-		for i, x := range adj {
-			if x <= v {
-				continue
+	parallelFor(threads, rows, orientChunk, func(worker, rlo, rhi int) {
+		ghosts := scratch[worker]
+		for r := rlo; r < rhi; r++ {
+			v := l.GID(int32(r))
+			adj := l.RowNeighbors(int32(r))
+			adjR := l.RowNeighborRows(int32(r))
+			w, rw := off[r], off[r]
+			ghosts = ghosts[:0]
+			for i, x := range adj {
+				if x <= v {
+					continue
+				}
+				o.out[w] = x
+				w++
+				if xr := adjR[i]; xr < nLoc {
+					o.rowOut[rw] = Vertex(xr)
+					rw++
+				} else {
+					ghosts = append(ghosts, Vertex(xr))
+				}
 			}
-			o.out[w] = x
-			w++
-			if xr := adjR[i]; xr < nLoc {
-				o.rowOut[rw] = Vertex(xr)
-				rw++
-			} else {
-				ghosts = append(ghosts, Vertex(xr))
-			}
+			copy(o.rowOut[rw:off[r+1]], ghosts)
 		}
-		copy(o.rowOut[rw:off[r+1]], ghosts)
-	}
+		scratch[worker] = ghosts
+	})
 	return o
 }
 
@@ -308,42 +350,52 @@ func (o *LocalOriented) CountRowPair(a, b int32) uint64 {
 // local vertex, keep only the out-neighbors that are ghosts (cut out-edges);
 // ghost rows become empty. The result is the PE's part of the cut graph ∂G,
 // restricted to outgoing edges. Hub bitmaps are not carried over; call
-// BuildHubs on the result if the cut lists warrant them.
-func (o *LocalOriented) Contract() *LocalOriented {
+// BuildHubs on the result if the cut lists warrant them. Sequential;
+// ContractPar is the threaded variant.
+func (o *LocalOriented) Contract() *LocalOriented { return o.ContractPar(1) }
+
+// ContractPar is Contract with the count and placement passes fanned out
+// over threads workers (rows are independent).
+func (o *LocalOriented) ContractPar(threads int) *LocalOriented {
 	l := o.L
 	rows := l.Rows()
-	nLoc := Vertex(l.NLocal())
+	nLocal := l.NLocal()
+	nLoc := Vertex(nLocal)
 	off := make([]int64, rows+1)
-	for r := 0; r < l.NLocal(); r++ {
-		cnt := int64(0)
-		for _, x := range o.Out(int32(r)) {
-			if !l.IsLocal(x) {
-				cnt++
+	parallelFor(threads, nLocal, orientChunk, func(_, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			cnt := int64(0)
+			for _, x := range o.Out(int32(r)) {
+				if !l.IsLocal(x) {
+					cnt++
+				}
 			}
+			off[r+1] = cnt
 		}
-		off[r+1] = off[r] + cnt
-	}
-	for r := l.NLocal(); r < rows; r++ {
-		off[r+1] = off[r]
+	})
+	for r := 0; r < rows; r++ {
+		off[r+1] += off[r]
 	}
 	out := make([]Vertex, off[rows])
 	rowOut := make([]Vertex, off[rows])
-	for r := 0; r < l.NLocal(); r++ {
-		w := off[r]
-		for _, x := range o.Out(int32(r)) {
-			if !l.IsLocal(x) {
-				out[w] = x
-				w++
+	parallelFor(threads, nLocal, orientChunk, func(_, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			w := off[r]
+			for _, x := range o.Out(int32(r)) {
+				if !l.IsLocal(x) {
+					out[w] = x
+					w++
+				}
 			}
+			// In row space the ghost entries are exactly the suffix ≥ NLocal
+			// of the ascending row list.
+			src := o.OutRows(int32(r))
+			i := len(src)
+			for i > 0 && src[i-1] >= nLoc {
+				i--
+			}
+			copy(rowOut[off[r]:off[r+1]], src[i:])
 		}
-		// In row space the ghost entries are exactly the suffix ≥ NLocal of
-		// the ascending row list.
-		src := o.OutRows(int32(r))
-		i := len(src)
-		for i > 0 && src[i-1] >= nLoc {
-			i--
-		}
-		copy(rowOut[off[r]:off[r+1]], src[i:])
-	}
+	})
 	return &LocalOriented{L: l, off: off, out: out, rowOut: rowOut}
 }

@@ -1,0 +1,176 @@
+package graph_test
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/testgraph"
+)
+
+// Equivalence property tests pinning the parallel preprocessing builders
+// against the sequential seed semantics, across every shared fixture and
+// Threads ∈ {1, 2, 3, 8}. The oracles are deliberately implementation-free:
+// the append-based scatter and the map-based ghost discovery replicate the
+// seed algorithms, and local neighborhoods are checked against the global
+// graph itself. Run under -race (CI does), these also exercise the
+// chunk-stealing workers for data races.
+
+var equivThreads = []int{1, 2, 3, 8}
+
+// scatterOracle is the seed ScatterEdges: append with two rank searches.
+func scatterOracle(pt *part.Partition, edges []graph.Edge) [][]graph.Edge {
+	out := make([][]graph.Edge, pt.P())
+	for _, e := range edges {
+		ru, rv := pt.Rank(e.U), pt.Rank(e.V)
+		out[ru] = append(out[ru], e)
+		if rv != ru {
+			out[rv] = append(out[rv], e)
+		}
+	}
+	return out
+}
+
+// ghostOracle is the seed map-based ghost discovery.
+func ghostOracle(pt *part.Partition, rank int, edges []graph.Edge) []graph.Vertex {
+	lo, hi := pt.Range(rank)
+	seen := make(map[graph.Vertex]bool)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		if e.U < lo || e.U >= hi {
+			seen[e.U] = true
+		}
+		if e.V < lo || e.V >= hi {
+			seen[e.V] = true
+		}
+	}
+	out := make([]graph.Vertex, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func setGhostDegrees(lg *graph.LocalGraph, g *graph.Graph) {
+	for i, gid := range lg.Ghosts() {
+		lg.SetGhostDegree(int32(lg.NLocal()+i), g.Degree(gid))
+	}
+}
+
+func equalLocal(t *testing.T, want, got *graph.LocalGraph) {
+	t.Helper()
+	if want.NLocal() != got.NLocal() || want.NGhost() != got.NGhost() {
+		t.Fatalf("shape mismatch: locals %d/%d ghosts %d/%d",
+			want.NLocal(), got.NLocal(), want.NGhost(), got.NGhost())
+	}
+	if !slices.Equal(want.Ghosts(), got.Ghosts()) {
+		t.Fatalf("ghost IDs differ")
+	}
+	for r := 0; r < want.Rows(); r++ {
+		if !slices.Equal(want.RowNeighbors(int32(r)), got.RowNeighbors(int32(r))) {
+			t.Fatalf("row %d adjacency differs", r)
+		}
+		if !slices.Equal(want.RowNeighborRows(int32(r)), got.RowNeighborRows(int32(r))) {
+			t.Fatalf("row %d row-translated adjacency differs", r)
+		}
+		if want.Degree(int32(r)) != got.Degree(int32(r)) {
+			t.Fatalf("row %d degree differs: %d vs %d", r, want.Degree(int32(r)), got.Degree(int32(r)))
+		}
+	}
+}
+
+func equalOriented(t *testing.T, name string, want, got *graph.LocalOriented) {
+	t.Helper()
+	for r := 0; r < want.L.Rows(); r++ {
+		if !slices.Equal(want.Out(int32(r)), got.Out(int32(r))) {
+			t.Fatalf("%s: row %d A-list differs", name, r)
+		}
+		if !slices.Equal(want.OutRows(int32(r)), got.OutRows(int32(r))) {
+			t.Fatalf("%s: row %d row-space A-list differs", name, r)
+		}
+	}
+}
+
+func TestParallelPreprocessEquivalence(t *testing.T) {
+	for _, fix := range testgraph.All {
+		t.Run(fix.Name, func(t *testing.T) {
+			g := fix.Build()
+			edges := g.Edges()
+			for _, p := range []int{1, 4} {
+				pt := part.Uniform(uint64(g.NumVertices()), p)
+				want := scatterOracle(pt, edges)
+				for _, th := range equivThreads {
+					got := graph.ScatterEdgesPar(pt, edges, th)
+					if len(got) != len(want) {
+						t.Fatalf("p=%d threads=%d: scatter length %d, want %d", p, th, len(got), len(want))
+					}
+					for pe := range want {
+						if !slices.Equal(got[pe], want[pe]) {
+							t.Fatalf("p=%d threads=%d: scatter differs on PE %d", p, th, pe)
+						}
+					}
+				}
+				for rank := 0; rank < p; rank++ {
+					base := graph.BuildLocal(pt, rank, want[rank])
+					if !slices.Equal(base.Ghosts(), ghostOracle(pt, rank, want[rank])) {
+						t.Fatalf("p=%d rank=%d: sort-based ghost discovery differs from map oracle", p, rank)
+					}
+					// Ground truth: local rows see their full neighborhoods.
+					for r := 0; r < base.NLocal(); r++ {
+						if !slices.Equal(base.RowNeighbors(int32(r)), g.Neighbors(base.GID(int32(r)))) {
+							t.Fatalf("p=%d rank=%d row %d: neighborhood differs from global graph", p, rank, r)
+						}
+					}
+					setGhostDegrees(base, g)
+					baseOri := graph.OrientLocal(base)
+					baseOnly := graph.OrientLocalOnly(base)
+					baseID := graph.OrientLocalByID(base)
+					baseCut := baseOri.Contract()
+					baseOri.BuildHubs(1) // force bitmaps everywhere they fit
+					for _, th := range equivThreads[1:] {
+						lg := graph.BuildLocalPar(pt, rank, want[rank], th)
+						setGhostDegrees(lg, g) // base already has its ghost degrees
+						equalLocal(t, base, lg)
+						ori := graph.OrientLocalPar(lg, th)
+						equalOriented(t, "orient", baseOri, ori)
+						equalOriented(t, "orient-local-only", baseOnly, graph.OrientLocalOnlyPar(lg, th))
+						equalOriented(t, "orient-by-id", baseID, graph.OrientLocalByIDPar(lg, th))
+						cut := ori.ContractPar(th)
+						equalOriented(t, "contract", baseCut, cut)
+						ori.BuildHubsPar(1, th)
+						if ori.NumHubs() != baseOri.NumHubs() {
+							t.Fatalf("threads=%d: hub count %d, want %d", th, ori.NumHubs(), baseOri.NumHubs())
+						}
+						for r := 0; r < lg.Rows(); r++ {
+							if !slices.Equal(baseOri.HubBitset(int32(r)), ori.HubBitset(int32(r))) {
+								t.Fatalf("threads=%d: hub bitmap of row %d differs", th, r)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildLocalParForeignEdgePanics pins the panic contract on the
+// parallel path: a worker detecting an edge with no local endpoint must
+// re-raise on the caller, not crash the process.
+func TestBuildLocalParForeignEdgePanics(t *testing.T) {
+	pt := part.Uniform(16, 2)
+	edges := make([]graph.Edge, 2048)
+	for i := range edges {
+		edges[i] = graph.Edge{U: uint64(i % 8), V: uint64((i + 1) % 8)}
+	}
+	edges[1500] = graph.Edge{U: 9, V: 10} // both endpoints on PE 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for foreign edge")
+		}
+	}()
+	graph.BuildLocalPar(pt, 0, edges, 4)
+}

@@ -7,7 +7,6 @@ package part
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Partition describes a 1D partition of vertices 0..n-1 over p PEs into
@@ -111,11 +110,27 @@ func (pt *Partition) Range(i int) (lo, hi uint64) { return pt.starts[i], pt.star
 func (pt *Partition) Size(i int) int { return int(pt.starts[i+1] - pt.starts[i]) }
 
 // Rank returns the PE owning vertex v. Because ranges are contiguous and
-// ordered, this is a binary search over the boundaries.
+// ordered, this is a binary search over the boundaries — hand-rolled rather
+// than sort.Search, since the scatter pass calls it twice per edge and the
+// closure indirection is measurable there.
 func (pt *Partition) Rank(v uint64) int {
-	// sort.Search finds the first i with starts[i+1] > v.
-	i := sort.Search(pt.P(), func(i int) bool { return pt.starts[i+1] > v })
-	return i
+	// Find the first boundary index i in [1, p] with starts[i] > v; the
+	// owner is i-1. Out-of-range vertices panic (the binary search would
+	// otherwise silently clamp them to the last PE).
+	s := pt.starts
+	if v >= s[len(s)-1] {
+		panic(fmt.Sprintf("part: vertex %d out of range n=%d", v, s[len(s)-1]))
+	}
+	lo, hi := 1, len(s)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
 }
 
 // Owns reports whether PE i owns vertex v.

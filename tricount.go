@@ -71,8 +71,10 @@ type Options struct {
 	// Indirect forces grid-based indirect delivery even for the non-"2"
 	// algorithm names.
 	Indirect bool
-	// Threads enables the hybrid mode with that many worker goroutines per
-	// PE for the local phase (DITRIC/CETRIC).
+	// Threads is the number of worker goroutines per PE: > 1 enables the
+	// hybrid local/global counting phases (DITRIC/CETRIC) and parallelizes
+	// the whole preprocessing pipeline (scatter, local CSR build,
+	// orientation, contraction, hub bitmaps) for every algorithm.
 	Threads int
 	// LCC additionally computes per-vertex triangle counts Δ(v) and local
 	// clustering coefficients (DITRIC/CETRIC only).
@@ -113,6 +115,36 @@ const (
 // field documentation (count, per-type counts, Δ/LCC vectors, per-PE
 // communication metrics, per-phase times).
 type Result = core.Result
+
+// Partition is a contiguous 1D vertex partition (each PE owns an ID range).
+// Build one with PartitionByCost and pass it via Options.Partition.
+type Partition = part.Partition
+
+// CostFunc estimates the preprocessing/counting work charged to a vertex of
+// degree d; PartitionByCost balances its prefix sums across PEs.
+type CostFunc = part.CostFunc
+
+// The cost functions of Arifuzzaman et al., re-exported for PartitionByCost.
+var (
+	CostDegree   = part.CostDegree   // charge d: balances edges
+	CostDegreeSq = part.CostDegreeSq // charge d²: proxy for hub intersection work
+	CostWedges   = part.CostWedges   // charge C(d,2): open wedge count
+	CostUnit     = part.CostUnit     // charge 1: reduces to the uniform partition
+)
+
+// PartitionByCost builds a cost-balanced contiguous 1D partition of g's
+// vertices over pes PEs: vertex v goes to the PE whose share of the total
+// cost (prefix-sum method) covers it, so ranges stay contiguous and ordered
+// as the distributed algorithms require. It wraps the degree scan plus
+// part.ByCost that cmd/tricount's -partition flag performs, so library
+// users don't have to reimplement it.
+func PartitionByCost(g *Graph, pes int, cost CostFunc) *Partition {
+	degrees := make([]int, g.NumVertices())
+	for v := range degrees {
+		degrees[v] = g.Degree(Vertex(v))
+	}
+	return part.ByCost(degrees, pes, cost)
+}
 
 func (o Options) toConfig() core.Config {
 	return core.Config{
