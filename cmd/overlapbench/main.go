@@ -1,0 +1,173 @@
+// Command overlapbench compares the barriered and overlapped execution
+// pipelines (PR 5): for each benchmark stand-in it runs DITRIC and CETRIC
+// at p PEs in both modes and records the wall, the per-phase breakdown, the
+// worst PE's idle-wait time inside the termination detector (the
+// straggler-skew signal, Metrics.IdleNs), the realized overlap — receive
+// work done during emission rather than in the drain (Metrics.OverlapNs) —
+// and the α+β overlapped-completion model
+// (costmodel.BottleneckOverlapped with per-rank busy = wall − idle).
+// Triangle counts must agree between the modes everywhere — the tool exits
+// nonzero otherwise. BENCH_pr5.json in the repo root is a recorded run:
+//
+//	go run ./cmd/overlapbench > BENCH_pr5.json
+//
+// The acceptance signal is the idle column on the skewed instances
+// (rmat/RHG): receive-side intersection work there is concentrated on the
+// PEs owning hub neighborhoods, and the overlapped pipeline starts that
+// work while the local phase still runs and steals it across the worker
+// pool, so the max-PE idle time must drop against the barriered mode. On a
+// 1-core CI host (GOMAXPROCS recorded in the report) wall-clock gains
+// cannot show; idle time and the modeled overlapped completion are the
+// cross-machine signals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+)
+
+type modeRow struct {
+	Graph        string             `json:"graph"`
+	Algo         string             `json:"algo"`
+	Mode         string             `json:"mode"` // barriered | overlapped
+	Threads      int                `json:"threads"`
+	Triangles    uint64             `json:"triangles"`
+	WallMs       float64            `json:"wall_ms"`
+	MaxIdleMs    float64            `json:"max_idle_ms"`
+	TotalIdleMs  float64            `json:"total_idle_ms"`
+	OverlapCPUMs float64            `json:"overlap_cpu_ms"` // summed over workers; not a wall quantity
+	PhasesMs     map[string]float64 `json:"phases_ms"`
+	ModeledMs    map[string]float64 `json:"modeled_overlapped_ms"`
+}
+
+type comparison struct {
+	Graph          string  `json:"graph"`
+	Algo           string  `json:"algo"`
+	Skewed         bool    `json:"skewed"` // power-law instance (the acceptance target)
+	WallRatio      float64 `json:"wall_barriered_over_overlapped"`
+	MaxIdleRatio   float64 `json:"max_idle_barriered_over_overlapped"`
+	MaxIdleDeltaMs float64 `json:"max_idle_reduction_ms"`
+}
+
+type report struct {
+	Note        string       `json:"note"`
+	Go          string       `json:"go"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	PEs         int          `json:"pes"`
+	Threads     int          `json:"threads"`
+	Rows        []modeRow    `json:"rows"`
+	Comparisons []comparison `json:"comparisons"`
+}
+
+func main() {
+	var (
+		p       = flag.Int("p", 8, "number of PEs")
+		threads = flag.Int("threads", 4, "worker threads per PE")
+		reps    = flag.Int("reps", 5, "repetitions per configuration (best wall wins)")
+		quick   = flag.Bool("quick", false, "single repetition (CI smoke)")
+	)
+	flag.Parse()
+	if *quick {
+		*reps = 1
+	}
+	rep := report{
+		Note: "Barriered vs overlapped pipeline at fixed p: wall and phase walls are ms, best " +
+			"wall of reps; max_idle is the worst PE's termination-detector wait (Metrics.IdleNs), " +
+			"overlap_cpu the receive work done during emission, before the final drain " +
+			"(Metrics.OverlapNs: DITRIC overlaps its local phase, CETRIC its cut send sweep; " +
+			"summed across each PE's workers, so it is CPU time, not wall). " +
+			"modeled_overlapped_ms is costmodel.BottleneckOverlapped with " +
+			"per-rank busy = wall - idle. Counts are verified identical between modes. The " +
+			"acceptance signal is max_idle shrinking on the skewed (rmat/rhg) instances; on a " +
+			"1-core host wall gains cannot show and are not claimed.",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PEs:        *p,
+		Threads:    *threads,
+	}
+	for _, spec := range benchutil.Standins() {
+		g := spec.Build()
+		for _, algo := range []core.Algorithm{core.AlgoDiTric, core.AlgoCetric} {
+			var rows [2]modeRow
+			for i, overlap := range []bool{false, true} {
+				rows[i] = measure(spec.Name, g, algo, *p, *threads, *reps, overlap)
+			}
+			if rows[0].Triangles != rows[1].Triangles {
+				fmt.Fprintf(os.Stderr, "overlapbench: %s/%s: barriered counted %d, overlapped %d\n",
+					spec.Name, algo, rows[0].Triangles, rows[1].Triangles)
+				os.Exit(1)
+			}
+			rep.Rows = append(rep.Rows, rows[:]...)
+			rep.Comparisons = append(rep.Comparisons, compare(spec, algo, rows[0], rows[1]))
+		}
+	}
+	benchutil.WriteJSON("overlapbench", rep)
+}
+
+func measure(name string, g *graph.Graph, algo core.Algorithm, p, threads, reps int, overlap bool) modeRow {
+	mode := "barriered"
+	if overlap {
+		mode = "overlapped"
+	}
+	var best *core.Result
+	for i := 0; i < reps; i++ {
+		res, err := core.Run(algo, g, core.Config{P: p, Threads: threads, Overlap: overlap})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overlapbench: %s/%s %s: %v\n", name, algo, mode, err)
+			os.Exit(1)
+		}
+		if best == nil || res.Wall < best.Wall {
+			best = res
+		}
+	}
+	phases := make(map[string]float64, len(best.Phases))
+	for ph, d := range best.Phases {
+		phases[ph] = ms(d)
+	}
+	// Per-rank busy estimate for the overlapped completion model: the run
+	// wall minus the rank's measured idle wait.
+	busy := make([]time.Duration, len(best.PerPE))
+	for r, m := range best.PerPE {
+		busy[r] = best.Wall - time.Duration(m.IdleNs)
+	}
+	modeled := make(map[string]float64, len(costmodel.Profiles()))
+	for _, prof := range costmodel.Profiles() {
+		modeled[prof.Name] = ms(costmodel.BottleneckOverlapped(best.PerPE, busy, prof))
+	}
+	return modeRow{
+		Graph: name, Algo: string(algo), Mode: mode, Threads: threads,
+		Triangles:    best.Count,
+		WallMs:       ms(best.Wall),
+		MaxIdleMs:    float64(best.Agg.MaxIdleNs) / 1e6,
+		TotalIdleMs:  float64(best.Agg.TotalIdleNs) / 1e6,
+		OverlapCPUMs: float64(best.Agg.TotalOverlapNs) / 1e6,
+		PhasesMs:     phases,
+		ModeledMs:    modeled,
+	}
+}
+
+func compare(spec benchutil.Standin, algo core.Algorithm, barriered, overlapped modeRow) comparison {
+	ratio := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return comparison{
+		Graph: spec.Name, Algo: string(algo),
+		Skewed:         spec.Skewed,
+		WallRatio:      ratio(barriered.WallMs, overlapped.WallMs),
+		MaxIdleRatio:   ratio(barriered.MaxIdleMs, overlapped.MaxIdleMs),
+		MaxIdleDeltaMs: barriered.MaxIdleMs - overlapped.MaxIdleMs,
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

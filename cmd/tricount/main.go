@@ -28,6 +28,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/transport"
@@ -54,6 +55,7 @@ func run() error {
 		p         = flag.Int("p", 8, "number of PEs")
 		threshold = flag.Int("delta", 0, "aggregation threshold δ in words (0 = O(|E_i|))")
 		threads   = flag.Int("threads", 1, "threads per PE (hybrid counting + parallel preprocessing)")
+		overlap   = flag.Bool("overlap", false, "overlapped work-stealing pipeline (DITRIC/CETRIC): eager shipments + steal deque instead of barrier-separated phases")
 		lcc       = flag.Bool("lcc", false, "compute local clustering coefficients")
 		sparse    = flag.Bool("sparse-degree", false, "sparse ghost degree exchange")
 		partBy    = flag.String("partition", "uniform", "1D partitioner: uniform|degree|wedges")
@@ -95,7 +97,7 @@ func run() error {
 	}
 
 	cfg := core.Config{
-		P: *p, Threshold: *threshold, Threads: *threads,
+		P: *p, Threshold: *threshold, Threads: *threads, Overlap: *overlap,
 		LCC: *lcc, SparseDegreeExchange: *sparse, Codec: *codec,
 		HubThreshold: *hub,
 	}
@@ -137,6 +139,7 @@ func run() error {
 	printComm(res.Agg, res.PerPE)
 	if *verbose {
 		printPhases(res)
+		printActivity(res.PerPE)
 	}
 	if *lcc {
 		printLCCSummary(res.LCC)
@@ -203,6 +206,20 @@ func printPhases(res *core.Result) {
 		} else {
 			fmt.Printf("  phase %-12s %v\n", name, res.Phases[name].Round(time.Microsecond))
 		}
+	}
+}
+
+// printActivity lists each rank's realized overlap (receive work done while
+// still emitting — CPU time summed over the rank's workers, so it can
+// exceed wall time) and idle wait (termination-detector wall time with
+// nothing to steal) — the skew view behind BENCH_pr5.json.
+func printActivity(per []comm.Metrics) {
+	for _, a := range dist.Activity(per) {
+		if a.Overlap == 0 && a.Idle == 0 {
+			continue
+		}
+		fmt.Printf("  rank %-3d overlap(cpu)=%-10v idle=%v\n",
+			a.Rank, a.Overlap.Round(time.Microsecond), a.Idle.Round(time.Microsecond))
 	}
 }
 

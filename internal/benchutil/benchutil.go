@@ -20,10 +20,14 @@ import (
 	"repro/internal/transport"
 )
 
-// Standin is one named benchmark instance. Build constructs a fresh copy.
+// Standin is one named benchmark instance. Build constructs a fresh copy;
+// Skewed marks the power-law instances whose degree distribution
+// concentrates work on hub-owning PEs (the load-balancing benchmarks'
+// acceptance targets).
 type Standin struct {
-	Name  string
-	Build func() *graph.Graph
+	Name   string
+	Skewed bool
+	Build  func() *graph.Graph
 }
 
 // Standins returns the benchmark stand-in catalog, in the order the bench
@@ -31,11 +35,11 @@ type Standin struct {
 // plus the RMAT skew case.
 func Standins() []Standin {
 	return []Standin{
-		{"rgg2d-2^12", func() *graph.Graph { return gen.RGG2D(1<<12, 16, 42) }},
-		{"rhg-2^12", func() *graph.Graph {
+		{"rgg2d-2^12", false, func() *graph.Graph { return gen.RGG2D(1<<12, 16, 42) }},
+		{"rhg-2^12", true, func() *graph.Graph {
 			return gen.RHG(gen.RHGConfig{N: 1 << 12, AvgDegree: 16, Gamma: 2.8, Seed: 42})
 		}},
-		{"rmat-2^13", func() *graph.Graph { return gen.RMAT(gen.DefaultRMAT(13, 7)) }},
+		{"rmat-2^13", true, func() *graph.Graph { return gen.RMAT(gen.DefaultRMAT(13, 7)) }},
 	}
 }
 

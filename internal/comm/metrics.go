@@ -25,6 +25,21 @@ type Metrics struct {
 	PeakBuffered int64 // max words ever buffered at once (queue memory)
 	ControlSent  int64 // control frames (probes, collective traffic)
 	Peers        int64 // distinct data-frame destinations (O(√p) under grid routing)
+
+	// IdleNs is the time (ns) this PE spent waiting inside Drain/DrainWith
+	// with no frame to process and no progress work to steal — the
+	// straggler-skew signal the overlapped pipeline exists to shrink.
+	IdleNs int64
+	// OverlapNs is CPU time (ns) this PE spent on global-phase receive work
+	// while it was still emitting shipments — before it entered the final
+	// drain, where the barriered path does all of that work. For DITRIC the
+	// emission window is the local phase; for CETRIC it is the cut send
+	// sweep (its local phase is communication-free). Summed across the
+	// worker pool and the funnel, so with Threads > 1 it can legitimately
+	// exceed the emission wall time; compare it with other CPU totals, not
+	// with phase walls. Recorded by core's overlapped pipeline; zero on the
+	// barriered path.
+	OverlapNs int64
 }
 
 // Add accumulates other into m.
@@ -38,6 +53,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.RecvWords += other.RecvWords
 	m.Flushes += other.Flushes
 	m.ControlSent += other.ControlSent
+	m.IdleNs += other.IdleNs
+	m.OverlapNs += other.OverlapNs
 	if other.PeakBuffered > m.PeakBuffered {
 		m.PeakBuffered = other.PeakBuffered
 	}
@@ -61,6 +78,8 @@ func (m Metrics) Sub(start Metrics) Metrics {
 		PeakBuffered: m.PeakBuffered,
 		ControlSent:  m.ControlSent - start.ControlSent,
 		Peers:        m.Peers,
+		IdleNs:       m.IdleNs - start.IdleNs,
+		OverlapNs:    m.OverlapNs - start.OverlapNs,
 	}
 }
 
@@ -80,6 +99,9 @@ type Aggregate struct {
 	MaxPeakBuffered   int64 // TriC's OOM indicator
 	MaxPeers          int64 // max distinct destinations over PEs
 	ControlSent       int64
+	TotalIdleNs       int64 // summed drain-wait time over PEs
+	MaxIdleNs         int64 // worst PE's drain-wait time (the skew bottleneck)
+	TotalOverlapNs    int64 // summed global-phase work done before local completion
 }
 
 // CompressionRatio returns raw over encoded data bytes (1 when nothing was
@@ -101,6 +123,11 @@ func AggregateOf(per []Metrics) Aggregate {
 		a.TotalRawBytes += m.RawBytes
 		a.TotalEncodedBytes += m.EncodedBytes
 		a.ControlSent += m.ControlSent
+		a.TotalIdleNs += m.IdleNs
+		a.TotalOverlapNs += m.OverlapNs
+		if m.IdleNs > a.MaxIdleNs {
+			a.MaxIdleNs = m.IdleNs
+		}
 		if m.SentFrames > a.MaxSentFrames {
 			a.MaxSentFrames = m.SentFrames
 		}

@@ -1,0 +1,147 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// The overlapped pipeline enters Drain while frames from its eager flushes
+// are still in flight, and keeps doing local work (stealing parked records)
+// through DrainWith's progress callback. These tests pin the termination
+// detector against exactly that regime: data frames held back on the wire
+// long after their send counters were reported, control frames overtaking
+// them, and progress work interleaved with the stabilization rounds.
+
+// delayNet wraps a network so every endpoint's data (byte) frames are held
+// for delay Recv polls after arrival, simulating slow in-flight traffic.
+// Word frames — the probe/reply/term control plane — pass through
+// immediately, so the protocol sees counter reports that are ahead of the
+// data they describe.
+type delayNet struct {
+	inner transport.Network
+	delay int
+}
+
+func (n *delayNet) Endpoint(rank int) (transport.Endpoint, error) {
+	ep, err := n.inner.Endpoint(rank)
+	if err != nil {
+		return nil, err
+	}
+	return &delayEndpoint{Endpoint: ep, delay: n.delay}, nil
+}
+
+func (n *delayNet) Close() error { return n.inner.Close() }
+
+type heldFrame struct {
+	f   transport.Frame
+	due int
+}
+
+// delayEndpoint is used from its PE's goroutine only (the transport
+// contract), so the held queue needs no locking.
+type delayEndpoint struct {
+	transport.Endpoint
+	delay int
+	tick  int
+	held  []heldFrame
+}
+
+func (e *delayEndpoint) Recv() (transport.Frame, bool) {
+	e.tick++
+	if len(e.held) > 0 && e.held[0].due <= e.tick {
+		f := e.held[0].f
+		e.held = e.held[1:]
+		return f, true
+	}
+	for {
+		f, ok := e.Endpoint.Recv()
+		if !ok {
+			return transport.Frame{}, false
+		}
+		if f.Bytes != nil {
+			// Data frame: park it; control frames keep flowing past it.
+			e.held = append(e.held, heldFrame{f, e.tick + e.delay})
+			continue
+		}
+		return f, true
+	}
+}
+
+func TestDrainToleratesDelayedInFlightFrames(t *testing.T) {
+	for _, indirect := range []bool{false, true} {
+		for _, delay := range []int{3, 40} {
+			const p = 5
+			var received atomic.Int64
+			net := &delayNet{inner: transport.NewChanNetwork(p), delay: delay}
+			ms := runClusterOn(t, net, p, 16, indirect, func(q *Queue) {},
+				func(rank int, c *Comm, q *Queue) {
+					q.Handle(0, func(src int, words []uint64) {
+						received.Add(1)
+						// Cascade: handlers fire new sends mid-drain, whose
+						// frames are delayed again.
+						if ttl := words[0]; ttl > 0 {
+							q.Send(0, (rank+1)%p, []uint64{ttl - 1})
+						}
+					})
+					c.Barrier()
+					q.Send(0, (rank+1)%p, []uint64{uint64(p - 1)})
+					q.Drain()
+				})
+			want := int64(p * p)
+			if received.Load() != want {
+				t.Fatalf("indirect=%v delay=%d: %d receipts, want %d",
+					indirect, delay, received.Load(), want)
+			}
+			var idle int64
+			for _, m := range ms {
+				idle += m.IdleNs
+			}
+			if delay >= 40 && idle == 0 {
+				t.Errorf("indirect=%v delay=%d: delayed frames recorded no idle time", indirect, delay)
+			}
+		}
+	}
+}
+
+func TestDrainWithProgressStealsWhileWaiting(t *testing.T) {
+	// Each rank seeds parked local work; the progress callback chews it
+	// whenever the detector would otherwise idle-wait (the overlapped
+	// pipeline's steal), and the caller finishes the remainder after
+	// DrainWith returns — drain termination must be unaffected.
+	const p = 4
+	const parked = 256
+	var received, stolen, calls atomic.Int64
+	net := &delayNet{inner: transport.NewChanNetwork(p), delay: 25}
+	runClusterOn(t, net, p, 8, false, func(q *Queue) {},
+		func(rank int, c *Comm, q *Queue) {
+			q.Handle(0, func(int, []uint64) { received.Add(1) })
+			c.Barrier()
+			for dst := 0; dst < p; dst++ {
+				if dst != rank {
+					q.Send(0, dst, []uint64{uint64(rank)})
+				}
+			}
+			left := parked
+			q.DrainWith(func() bool {
+				calls.Add(1)
+				if left == 0 {
+					return false
+				}
+				left--
+				stolen.Add(1)
+				return true
+			})
+			stolen.Add(int64(left)) // caller drains the rest, like the pipeline
+		})
+	if received.Load() != p*(p-1) {
+		t.Fatalf("%d receipts, want %d", received.Load(), p*(p-1))
+	}
+	if stolen.Load() != p*parked {
+		t.Fatalf("%d work units done, want %d", stolen.Load(), p*parked)
+	}
+	if calls.Load() == 0 {
+		t.Errorf("progress callback never invoked despite delayed frames")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -63,6 +64,11 @@ type Queue struct {
 	recv int64
 
 	round uint64 // coordinator probe round
+
+	// idleAt marks the start of the current idle episode inside
+	// Drain/DrainWith (zero when the PE last did useful work); episodes
+	// accumulate into Metrics.IdleNs.
+	idleAt time.Time
 }
 
 // wordArena is one reusable decode buffer. refs counts the frame dispatch in
@@ -278,6 +284,19 @@ func (q *Queue) encodeFrame(buf []uint64) []byte {
 	return out
 }
 
+// FlushIfOver flushes every buffer when more than words words are buffered.
+// It is the eager flush trigger of the overlapped pipeline: a watermark well
+// below the aggregation threshold δ ships cut neighborhoods while the local
+// phase is still producing, instead of holding them until the overflow or
+// drain flush. Returns whether a flush happened.
+func (q *Queue) FlushIfOver(words int) bool {
+	if q.buffered <= words {
+		return false
+	}
+	q.Flush()
+	return true
+}
+
 // Poll processes all currently pending data frames; it returns true if it
 // processed at least one.
 func (q *Queue) Poll() bool {
@@ -363,20 +382,68 @@ func (q *Queue) dispatch(ch, src int, payload []uint64) {
 // quiescence: no PE holds buffered records and every sent frame has been
 // received and processed. Every PE of the cluster must call Drain; rank 0
 // coordinates the four-counter termination protocol.
-func (q *Queue) Drain() {
+func (q *Queue) Drain() { q.DrainWith(nil) }
+
+// DrainWith is Drain with a progress callback for overlapped pipelines.
+// Whenever the termination detector would otherwise idle-wait for a frame,
+// it invokes progress (if non-nil), which should perform one unit of local
+// work — e.g. steal a batch of received records off the overlap deque — and
+// report whether it did anything. The four-counter protocol itself is
+// unchanged: it already tolerates PEs entering the drain at different times
+// and frames still in flight from overlapped eager flushes, because
+// termination requires the global sent/recv counters to agree and stay
+// stable across two probe rounds. progress must not send new records.
+//
+// Time spent with neither a frame to process nor progress work to do
+// accumulates into Metrics.IdleNs — the per-rank skew signal.
+func (q *Queue) DrainWith(progress func() bool) {
 	q.Flush()
 	if q.c.Rank() == 0 {
-		q.drainCoordinator()
+		q.drainCoordinator(progress)
 	} else {
-		q.drainWorker()
+		q.drainWorker(progress)
+	}
+	q.noteBusy()
+}
+
+// noteIdle opens an idle episode (no-op when one is already open);
+// noteBusy closes it into Metrics.IdleNs.
+func (q *Queue) noteIdle() {
+	if q.idleAt.IsZero() {
+		q.idleAt = time.Now()
 	}
 }
 
-func (q *Queue) drainCoordinator() {
+func (q *Queue) noteBusy() {
+	if !q.idleAt.IsZero() {
+		q.c.M.IdleNs += time.Since(q.idleAt).Nanoseconds()
+		q.idleAt = time.Time{}
+	}
+}
+
+// stall is the detector's wait step: try the progress callback, and when it
+// has nothing to do either, yield and account the time as idle. The idle
+// episode is closed *before* the callback runs so that stolen-work time is
+// never attributed to IdleNs — only genuine waiting is.
+func (q *Queue) stall(progress func() bool) {
+	if progress != nil {
+		q.noteBusy()
+		if progress() {
+			return
+		}
+	}
+	q.noteIdle()
+	runtime.Gosched()
+}
+
+func (q *Queue) drainCoordinator(progress func() bool) {
 	p := q.c.Size()
 	var prevSent, prevRecv int64 = -1, -1
 	for {
-		// Make progress on data and keep our own buffers empty.
+		// Make progress on data and keep our own buffers empty. Any idle
+		// episode ends here, before frame processing, so processing time is
+		// never misattributed to IdleNs.
+		q.noteBusy()
 		q.Poll()
 		q.Flush()
 
@@ -394,9 +461,10 @@ func (q *Queue) drainCoordinator() {
 				return t == tag(kindReply, round) || t&kindMask == kindData
 			})
 			if !ok {
-				runtime.Gosched()
+				q.stall(progress)
 				continue
 			}
+			q.noteBusy() // the wait ended on arrival; processing is not idle
 			if tagOf(f)&kindMask == kindData {
 				q.processData(f)
 				q.Flush()
@@ -418,16 +486,17 @@ func (q *Queue) drainCoordinator() {
 	}
 }
 
-func (q *Queue) drainWorker() {
+func (q *Queue) drainWorker(progress func() bool) {
 	for {
 		f, ok := q.c.next(func(t uint64) bool {
 			k := t & kindMask
 			return k == kindData || k == kindProbe || k == kindTerm
 		})
 		if !ok {
-			runtime.Gosched()
+			q.stall(progress)
 			continue
 		}
+		q.noteBusy() // the wait ended on arrival; processing is not idle
 		switch tagOf(f) & kindMask {
 		case kindData:
 			q.processData(f)

@@ -124,7 +124,7 @@ func approxCetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge,
 	cfg Config, acfg AMQConfig, out *approxOutcome) error {
 
 	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
-	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange, cfg.Threads)
 	ori := graph.OrientLocalPar(lg, cfg.Threads)
 	state := newCountState(lg, cfg)
 

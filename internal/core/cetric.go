@@ -17,7 +17,7 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	sw.phase(PhaseBuild)
 	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
 	sw.phase(PhaseDegrees)
-	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange, cfg.Threads)
 	sw.phase(PhaseOrient)
 	// Expansion: orient every row, including ghosts (their visible
 	// neighborhoods are the rewired incoming cut edges).
@@ -25,6 +25,16 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	ori.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
 	sw.phase(PhasePreprocess) // residual: handler setup + the barrier
 	state := newCountState(lg, cfg)
+
+	// Overlapped pipeline (pipeline.go): incoming cut neighborhoods wait
+	// encoded in the transport until contraction builds the cut graph,
+	// then the send sweep overlaps emission with receive-side
+	// intersections drained by the same chunk-stealing worker pool.
+	if cfg.Overlap {
+		cetricOverlap(pe, pt, lg, ori, state, cfg, sw)
+		finishBody(pe, sw, state, cfg, out)
+		return nil
+	}
 
 	// The global-phase receive handler intersects with the *contracted*
 	// A-lists. cut is assigned in the contraction phase, strictly before any
@@ -67,30 +77,7 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	sw.phase(PhaseGlobal)
 	// Cut neighborhoods go out as (v, A(v)...) records with A(v) ID-sorted —
 	// the shape the chNeigh delta-varint codec compresses best.
-	buf := make([]uint64, 0, 256)
-	for r := 0; r < lg.NLocal(); r++ {
-		v := lg.GID(int32(r))
-		av := cut.Out(int32(r))
-		if len(av) < 2 {
-			continue
-		}
-		lastRank := -1
-		for _, u := range av {
-			if cfg.NoSurrogate {
-				buf = append(buf[:0], v, u)
-				buf = append(buf, av...)
-				pe.Q.Send(chNeighEdge, pt.Rank(u), buf)
-				continue
-			}
-			// Surrogate dedup: av is ID-sorted, ranks are contiguous.
-			if j := pt.Rank(u); j != lastRank {
-				buf = append(buf[:0], v)
-				buf = append(buf, av...)
-				pe.Q.Send(chNeigh, j, buf)
-				lastRank = j
-			}
-		}
-	}
+	cetricGlobalRows(pe, pt, lg, cut, 0, lg.NLocal(), nil, cfg.NoSurrogate)
 	pe.Q.Drain()
 	if pool != nil {
 		poolState := newCountState(lg, cfg)
@@ -99,13 +86,7 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 		state.merge(poolState)
 	}
 
-	if cfg.LCC {
-		sw.phase(PhasePostprocess)
-		state.flushGhostDeltas(pe)
-		pe.Q.Drain()
-	}
-	sw.stop()
-	state.finish(out)
+	finishBody(pe, sw, state, cfg, out)
 	return nil
 }
 

@@ -18,12 +18,22 @@ func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	sw.phase(PhaseBuild)
 	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
 	sw.phase(PhaseDegrees)
-	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange, cfg.Threads)
 	sw.phase(PhaseOrient)
 	ori := graph.OrientLocalOnlyPar(lg, cfg.Threads)
 	ori.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
 	sw.phase(PhasePreprocess) // residual: handler setup + the barrier
 	state := newCountState(lg, cfg)
+
+	// Overlapped pipeline (pipeline.go): no barrier between local and
+	// global — shipments flush eagerly as row chunks complete and the
+	// chunk-stealing workers drain received records concurrently with
+	// residual local rows.
+	if cfg.Overlap {
+		ditricOverlap(pe, pt, lg, ori, state, cfg, sw)
+		finishBody(pe, sw, state, cfg, out)
+		return nil
+	}
 
 	// Hybrid mode funnels receive-side intersections to a worker pool
 	// (§IV-D); single-threaded mode intersects inline. Received lists are
@@ -62,6 +72,14 @@ func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 		pool.drain(state)
 	}
 
+	finishBody(pe, sw, state, cfg, out)
+	return nil
+}
+
+// finishBody is the shared tail of the DITRIC/CETRIC bodies: the optional
+// LCC ghost-Δ postprocess exchange, closing the stopwatch, and exporting
+// the per-PE outcome.
+func finishBody(pe *dist.PE, sw *stopwatch, state *countState, cfg Config, out *peOutcome) {
 	if cfg.LCC {
 		sw.phase(PhasePostprocess)
 		state.flushGhostDeltas(pe)
@@ -69,5 +87,4 @@ func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	}
 	sw.stop()
 	state.finish(out)
-	return nil
 }

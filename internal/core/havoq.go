@@ -26,7 +26,7 @@ func havoqBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, 
 	sw.phase(PhaseBuild)
 	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
 	sw.phase(PhaseDegrees)
-	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange)
+	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange, cfg.Threads)
 	sw.phase(PhaseOrient)
 	ori := graph.OrientLocalOnlyPar(lg, cfg.Threads)
 	sw.phase(PhasePreprocess) // residual: handler setup + the barrier

@@ -121,18 +121,14 @@ func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOrient
 	}
 }
 
-// ditricLocalRows processes local rows [lo,hi): local-local wedges are
-// intersected in place through the adaptive row-space pair kernels, remote
-// shipments go to sends (or directly to the queue when sends is nil — the
-// single-threaded path, which reuses one local buffer because Queue.Send
-// copies; the funneled path checks buffers out of payloadPool and the
-// funnel returns them after the send).
-func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
-	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool) {
-	first := lg.First
-	var buf []uint64  // reused across shipments on the sends == nil path
-	var hdr [2]uint64 // record header scratch, reused across shipments
-	ship := func(ch, dst int, head, av []uint64) {
+// newShipper returns the shipment emitter shared by the row sweeps
+// (ditricLocalRows, cetricGlobalRows): with a funnel (sends != nil) each
+// record checks a buffer out of payloadPool and the funnel returns it after
+// Queue.Send has copied; without one, a single buffer captured in the
+// closure is reused directly because Queue.Send copies synchronously.
+func newShipper(pe *dist.PE, sends chan<- hybridSend) func(ch, dst int, head, av []uint64) {
+	var buf []uint64 // reused across shipments on the sends == nil path
+	return func(ch, dst int, head, av []uint64) {
 		if sends != nil {
 			bp := getPayload(len(head) + len(av))
 			*bp = append(append(*bp, head...), av...)
@@ -142,6 +138,16 @@ func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori 
 		buf = append(append(buf[:0], head...), av...)
 		pe.Q.Send(ch, dst, buf)
 	}
+}
+
+// ditricLocalRows processes local rows [lo,hi): local-local wedges are
+// intersected in place through the adaptive row-space pair kernels, remote
+// shipments go through the shipper (funneled or direct, see newShipper).
+func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
+	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool) {
+	first := lg.First
+	var hdr [2]uint64 // record header scratch, reused across shipments
+	ship := newShipper(pe, sends)
 	for r := lo; r < hi; r++ {
 		rv := int32(r)
 		v := lg.GID(rv)

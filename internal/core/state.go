@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/comm"
@@ -235,8 +236,13 @@ func (s *countState) finish(out *peOutcome) {
 // exchangeGhostDegrees implements exchange_ghost_degree (Algorithm 3 line 1)
 // either with the dense all-to-all the paper defaults to, or with the
 // asynchronous sparse all-to-all (NBX style: direct messages to actual
-// communication partners + termination detection).
-func exchangeGhostDegrees(pe *dist.PE, lg *graph.LocalGraph, sparse bool) {
+// communication partners + termination detection). Reply construction — the
+// degree lookup per requested ghost, previously the last single-threaded
+// per-PE preprocess sub-phase — fans out over the same chunk-stealing
+// workers as the rest of the pipeline (graph.ParallelFor), flattened across
+// the per-source request lists so a few large requesters cannot serialize
+// the stage.
+func exchangeGhostDegrees(pe *dist.PE, lg *graph.LocalGraph, sparse bool, threads int) {
 	if sparse {
 		exchangeGhostDegreesSparse(pe, lg)
 		return
@@ -249,16 +255,31 @@ func exchangeGhostDegrees(pe *dist.PE, lg *graph.LocalGraph, sparse bool) {
 	}
 	gotReqs := pe.C.DenseExchange(reqs)
 	replies := make([][]uint64, p)
+	var srcs []int // sources with a non-empty request list
+	var offs []int // prefix offsets of their lists in the flattened index
+	total := 0
 	for src, list := range gotReqs {
 		if src == pe.Rank || len(list) == 0 {
 			continue
 		}
-		rep := make([]uint64, len(list))
-		for k, gid := range list {
-			rep[k] = uint64(lg.Degree(lg.Row(gid)))
-		}
-		replies[src] = rep
+		replies[src] = make([]uint64, len(list))
+		srcs = append(srcs, src)
+		offs = append(offs, total)
+		total += len(list)
 	}
+	graph.ParallelFor(threads, total, func(_, lo, hi int) {
+		// Locate the source span containing lo, then walk forward; a chunk
+		// crossing span boundaries continues into the next source.
+		si := sort.Search(len(offs), func(i int) bool { return offs[i] > lo }) - 1
+		for i := lo; i < hi; si++ {
+			src, base := srcs[si], offs[si]
+			list, rep := gotReqs[src], replies[src]
+			end := min(hi, base+len(list))
+			for ; i < end; i++ {
+				rep[i-base] = uint64(lg.Degree(lg.Row(list[i-base])))
+			}
+		}
+	})
 	gotReps := pe.C.DenseExchange(replies)
 	for owner, list := range gotReps {
 		for k, d := range list {

@@ -44,6 +44,9 @@ const (
 	PhaseContraction = "contraction"
 	PhaseGlobal      = "global"
 	PhasePostprocess = "postprocess"
+	// PhaseOverlap exists only as the fold parent of PhaseOverlapIdle: its
+	// total is the time a PE spent waiting with nothing to do.
+	PhaseOverlap = "overlap"
 )
 
 // Preprocessing sub-phases. Each is recorded in Result.Phases under its own
@@ -56,6 +59,19 @@ const (
 	PhaseBuild   = PhasePreprocess + "/build"
 	PhaseDegrees = PhasePreprocess + "/degrees"
 	PhaseOrient  = PhasePreprocess + "/orient"
+)
+
+// Counting sub-phases of the overlapped pipeline. The stopwatch folds each
+// "parent/sub" key into its parent, so PhaseGlobal keeps its Fig. 7 meaning
+// (all global-phase work) while the breakdown separates what used to be
+// miscounted: receive-side intersections that run interleaved with the
+// local phase land under global/recv, and time a PE spends waiting inside
+// the termination detector with nothing to process lands under
+// overlap/idle (split out of whatever phase was active — see
+// stopwatch.phase), not under local or global compute.
+const (
+	PhaseGlobalRecv  = PhaseGlobal + "/recv"
+	PhaseOverlapIdle = PhaseOverlap + "/idle"
 )
 
 // Config controls a distributed run.
@@ -73,6 +89,18 @@ type Config struct {
 	// branchless-merge and galloping kernels. Total bitmap memory is capped
 	// at the size of the A-lists themselves regardless of the threshold.
 	HubThreshold int
+
+	// Overlap replaces the barrier-separated local → global execution with
+	// the overlapped, work-stealing pipeline (DITRIC/CETRIC and their
+	// indirect variants; the baselines ignore it): cut-neighborhood
+	// shipments are flushed eagerly as row chunks complete, received
+	// records park on a per-PE steal deque, and the same chunk-stealing
+	// worker pool drains that deque concurrently with the remaining
+	// emission work — DITRIC's global intersections start before its local
+	// phase finishes; CETRIC's interleave with its cut send sweep. Counts
+	// are exactly identical to the barriered path (the default), which
+	// remains selectable as the oracle.
+	Overlap bool
 
 	// Codec selects the wire codec policy for the queue channels: "auto"
 	// (or empty — tuned per-channel codecs, delta-varint on adjacency
@@ -191,23 +219,41 @@ func newStopwatch(c *comm.Comm, out *peOutcome) *stopwatch {
 	return &stopwatch{c: c, out: out}
 }
 
-// phase closes the current phase (if any) and starts the named one.
-// Preprocessing sub-phases ("preprocess/...") additionally fold into the
-// PhasePreprocess totals, so the Fig. 7 breakdown keeps its historical key.
+// phase closes the current phase (if any) and starts the named one. A phase
+// may be re-entered: durations and communication deltas accumulate, which is
+// how the overlapped pipeline attributes interleaved local/global work by
+// switching back and forth on the PE's main timeline. Two refinements keep
+// the attribution honest:
+//
+//   - any sub-phase key "parent/sub" folds into its parent's totals, so the
+//     Fig. 7 breakdown keeps its historical keys (preprocess, global) while
+//     the sub-keys show where the time went;
+//   - idle time recorded by the termination detector during the phase
+//     (Metrics.IdleNs — waiting with no frame to process and no deque work
+//     to steal) is split out into PhaseOverlapIdle instead of being
+//     miscounted as local or global compute.
 func (s *stopwatch) phase(name string) {
 	now := time.Now()
 	if s.cur != "" {
 		d := now.Sub(s.t0)
-		s.out.phases[s.cur] += d
 		m := s.c.M.Sub(s.m0)
+		if idle := time.Duration(m.IdleNs); idle > 0 && s.cur != PhaseOverlapIdle {
+			if idle > d {
+				idle = d // clock-resolution clamp
+			}
+			d -= idle
+			s.out.phases[PhaseOverlapIdle] += idle
+			s.out.phases[PhaseOverlap] += idle
+		}
+		s.out.phases[s.cur] += d
 		acc := s.out.phaseComm[s.cur]
 		acc.Add(m)
 		s.out.phaseComm[s.cur] = acc
-		if strings.HasPrefix(s.cur, PhasePreprocess+"/") {
-			s.out.phases[PhasePreprocess] += d
-			accP := s.out.phaseComm[PhasePreprocess]
+		if parent, _, isSub := strings.Cut(s.cur, "/"); isSub {
+			s.out.phases[parent] += d
+			accP := s.out.phaseComm[parent]
 			accP.Add(m)
-			s.out.phaseComm[PhasePreprocess] = accP
+			s.out.phaseComm[parent] = accP
 		}
 	}
 	s.cur = name

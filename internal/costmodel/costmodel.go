@@ -75,6 +75,38 @@ func BottleneckWire(per []comm.Metrics, p Profile) time.Duration {
 	return worst
 }
 
+// TimeOverlapped returns the modeled completion time of one PE whose
+// computation overlaps its communication: max(compute, comm) instead of the
+// barriered compute + comm. compute is the PE's measured busy time (its
+// phase walls minus idle waits); the communication term is the α+β time of
+// its traffic. The gap between Time+compute and TimeOverlapped is the α+β
+// value of the overlapped pipeline on that profile — by construction it
+// grows with the profile's latency, the paper's own prediction for slower
+// interconnects.
+func (p Profile) TimeOverlapped(m comm.Metrics, compute time.Duration) time.Duration {
+	if c := p.Time(m); c > compute {
+		return c
+	}
+	return compute
+}
+
+// BottleneckOverlapped is the completion-time proxy of a fully overlapped
+// run: the maximum over PEs of max(compute, comm). compute must be indexed
+// by rank like per; missing entries model a communication-only rank.
+func BottleneckOverlapped(per []comm.Metrics, compute []time.Duration, p Profile) time.Duration {
+	var worst time.Duration
+	for i, m := range per {
+		var c time.Duration
+		if i < len(compute) {
+			c = compute[i]
+		}
+		if t := p.TimeOverlapped(m, c); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
 // Total returns the summed modeled time (useful for energy-style accounting
 // rather than makespan).
 func Total(per []comm.Metrics, p Profile) time.Duration {

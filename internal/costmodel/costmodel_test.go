@@ -43,6 +43,38 @@ func TestLatencyDominatedRegimeFavorsAggregation(t *testing.T) {
 	}
 }
 
+func TestTimeOverlappedIsMaxOfComputeAndComm(t *testing.T) {
+	p := Profile{Alpha: 1, Beta: 0}
+	m := comm.Metrics{SentFrames: 4} // comm = 4s
+	if got := p.TimeOverlapped(m, 10*time.Second); got != 10*time.Second {
+		t.Fatalf("compute-bound: %v, want 10s", got)
+	}
+	if got := p.TimeOverlapped(m, time.Second); got != 4*time.Second {
+		t.Fatalf("comm-bound: %v, want 4s", got)
+	}
+	// Overlap can never be slower than the barriered sum, and never faster
+	// than the larger term.
+	for _, compute := range []time.Duration{0, time.Second, 10 * time.Second} {
+		ov := p.TimeOverlapped(m, compute)
+		if sum := p.Time(m) + compute; ov > sum {
+			t.Fatalf("overlapped %v exceeds barriered sum %v", ov, sum)
+		}
+	}
+}
+
+func TestBottleneckOverlappedPicksWorstPE(t *testing.T) {
+	p := Profile{Alpha: 1, Beta: 0}
+	per := []comm.Metrics{{SentFrames: 1}, {SentFrames: 5}, {SentFrames: 3}}
+	compute := []time.Duration{8 * time.Second, time.Second} // rank 2 compute missing => 0
+	if got := BottleneckOverlapped(per, compute, p); got != 8*time.Second {
+		t.Fatalf("BottleneckOverlapped = %v, want 8s", got)
+	}
+	// Fully comm-bound ranks reduce to the plain bottleneck.
+	if got := BottleneckOverlapped(per, nil, p); got != Bottleneck(per, p) {
+		t.Fatalf("nil compute: %v, want %v", got, Bottleneck(per, p))
+	}
+}
+
 func TestProfilesDistinct(t *testing.T) {
 	ps := Profiles()
 	if len(ps) != 3 {

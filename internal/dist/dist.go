@@ -199,6 +199,33 @@ func Modeled(per []comm.Metrics) map[string]time.Duration {
 	return out
 }
 
+// RankActivity is one rank's overlapped-work vs idle-wait split: Overlap is
+// CPU time the rank spent on global-phase receive work while it was still
+// emitting shipments (before the final drain, where the barriered path does
+// all of it; summed over the rank's workers, so it can exceed wall time),
+// Idle the wall time it waited inside the termination detector with nothing
+// to process — the straggler-skew signal the overlapped pipeline shrinks.
+// The worst rank's idle is aggregated as comm.Aggregate.MaxIdleNs.
+type RankActivity struct {
+	Rank    int
+	Overlap time.Duration
+	Idle    time.Duration
+}
+
+// Activity reports the per-rank overlap/idle breakdown of a run's metrics,
+// indexed by rank.
+func Activity(per []comm.Metrics) []RankActivity {
+	out := make([]RankActivity, len(per))
+	for r, m := range per {
+		out[r] = RankActivity{
+			Rank:    r,
+			Overlap: time.Duration(m.OverlapNs),
+			Idle:    time.Duration(m.IdleNs),
+		}
+	}
+	return out
+}
+
 // ModeledWire is Modeled over the codec-encoded wire bytes instead of the
 // raw machine words: the α+β time the same run would take once the codec
 // layer's compression is accounted for. Comparing the two maps per profile

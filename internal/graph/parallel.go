@@ -22,6 +22,16 @@ import (
 // enough that the atomic chunk counter never becomes the bottleneck.
 const parallelChunk = 1024
 
+// ParallelFor exposes the chunk-stealing worker loop to the packages above
+// (core's ghost-degree reply construction reuses it): fn runs over [0, n)
+// in dynamically stolen chunks of the default size, receiving the worker
+// index for per-worker scratch and a half-open item range. One worker (or
+// n small enough for one chunk) runs inline on the caller's goroutine; a
+// panic in any worker is re-raised on the caller.
+func ParallelFor(threads, n int, fn func(worker, lo, hi int)) {
+	parallelFor(threads, n, parallelChunk, fn)
+}
+
 // workersFor returns the number of workers parallelFor will actually use:
 // never more than one per chunk, never less than one. Callers allocating
 // per-worker scratch size it with this.

@@ -76,6 +76,17 @@ type Options struct {
 	// the whole preprocessing pipeline (scatter, local CSR build,
 	// orientation, contraction, hub bitmaps) for every algorithm.
 	Threads int
+	// Overlap runs DITRIC/CETRIC (and their indirect variants) on the
+	// overlapped, work-stealing execution pipeline instead of the default
+	// barrier-separated phases: cut-neighborhood shipments flush eagerly as
+	// row chunks complete, received records park on a per-PE steal deque,
+	// and the same chunk-stealing workers drain it concurrently with the
+	// remaining emission work — global-phase intersections start while the
+	// PE is still shipping and stragglers get stolen instead of
+	// serialized. Counts are exactly identical to the barriered path; the
+	// baselines ignore the flag. Per-rank overlap and idle time land in
+	// Result.PerPE (OverlapNs/IdleNs) and the overlap/idle sub-phase.
+	Overlap bool
 	// LCC additionally computes per-vertex triangle counts Δ(v) and local
 	// clustering coefficients (DITRIC/CETRIC only).
 	LCC bool
@@ -152,6 +163,7 @@ func (o Options) toConfig() core.Config {
 		Threshold:            o.Threshold,
 		Indirect:             o.Indirect,
 		Threads:              o.Threads,
+		Overlap:              o.Overlap,
 		LCC:                  o.LCC,
 		Partition:            o.Partition,
 		SparseDegreeExchange: o.SparseDegreeExchange,
