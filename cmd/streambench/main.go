@@ -1,0 +1,271 @@
+// Command streambench measures what the streaming driver (PR 6) buys:
+//
+//  1. Driver-side peak memory. The one-shot driver materializes the full
+//     edge list plus a complete p-way scatter before any PE starts
+//     building — O(|E|) words on top of the input CSR. The streaming
+//     driver pulls batches straight out of the CSR and scatters one batch
+//     at a time, so its transient peak is O(|E_i| + batch). Both paths are
+//     run under a heap sampler and the tool FAILS (exit 1) if streaming
+//     does not come in under the one-shot peak.
+//  2. Incremental delta-counting cost. After the initial graph is counted,
+//     each inserted batch costs one delta pass (new-edge intersections +
+//     cut shipments) instead of a full recount; the report compares the
+//     mean per-batch delta wall against a from-scratch Run of the same
+//     final graph.
+//
+// Counts are cross-checked everywhere: every streamed count must equal the
+// one-shot count of the same edges. BENCH_pr6.json in the repo root is a
+// recorded run:
+//
+//	go run ./cmd/streambench > BENCH_pr6.json
+//
+// -quick runs a small correctness smoke for CI (no JSON, exit status only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+type memRow struct {
+	Graph           string  `json:"graph"`
+	Edges           int     `json:"edges"`
+	Algo            string  `json:"algo"`
+	P               int     `json:"p"`
+	Batch           int     `json:"batch"`
+	Triangles       uint64  `json:"triangles"`
+	OneShotPeakMB   float64 `json:"oneshot_driver_peak_mb"`
+	StreamPeakMB    float64 `json:"stream_driver_peak_mb"`
+	PeakRatio       float64 `json:"oneshot_over_stream_peak"`
+	OneShotWallMs   float64 `json:"oneshot_wall_ms"`
+	StreamWallMs    float64 `json:"stream_wall_ms"`
+	EdgeListBoundMB float64 `json:"edge_list_bound_mb"` // 16·m bytes: what Edges() alone costs
+}
+
+type deltaRow struct {
+	Graph            string  `json:"graph"`
+	Algo             string  `json:"algo"`
+	P                int     `json:"p"`
+	Batch            int     `json:"batch"`
+	Batches          int     `json:"insert_batches"`
+	Triangles        uint64  `json:"triangles"`
+	MeanDeltaMs      float64 `json:"mean_delta_batch_ms"`
+	FullRecountMs    float64 `json:"full_recount_ms"`
+	RecountOverDelta float64 `json:"recount_over_delta"`
+}
+
+type report struct {
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Memory     []memRow   `json:"memory"`
+	Delta      []deltaRow `json:"delta"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "small correctness smoke (CI): streamed count must equal one-shot count")
+	p := flag.Int("p", 4, "PEs")
+	flag.Parse()
+
+	if *quick {
+		runQuick(*p)
+		return
+	}
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// Memory experiment: big enough that the one-shot driver's O(|E|)
+	// transients (the full edge list plus a like-sized p-way scatter,
+	// ~32 B/edge ⇒ 128 MiB at m=2^22) dominate allocator noise, batch small
+	// enough to show the O(batch) side.
+	memG := gen.GNM(1<<19, 1<<22, 42)
+	rep.Memory = append(rep.Memory, memExperiment("gnm-2^22", memG, core.AlgoCetric, *p, 1<<16))
+
+	// Delta experiment: per-batch insert cost vs a from-scratch recount on
+	// the stand-in catalog.
+	for _, s := range benchutil.Standins() {
+		g := s.Build()
+		for _, algo := range []core.Algorithm{core.AlgoDiTric, core.AlgoCetric} {
+			rep.Delta = append(rep.Delta, deltaExperiment(s.Name, g, algo, *p, 1<<12))
+		}
+	}
+
+	benchutil.WriteJSON("streambench", rep)
+	for _, m := range rep.Memory {
+		if m.StreamPeakMB >= m.OneShotPeakMB {
+			fmt.Fprintf(os.Stderr, "streambench: FAIL %s: streaming driver peak %.1f MB not below one-shot %.1f MB\n",
+				m.Graph, m.StreamPeakMB, m.OneShotPeakMB)
+			os.Exit(1)
+		}
+	}
+}
+
+// peakHeap runs f while a sampler goroutine tracks HeapInuse and returns
+// the peak growth over the pre-f baseline in bytes. GC pacing is tightened
+// for the duration (GOGC would otherwise let the heap float to ~2× live
+// under allocation churn, drowning the driver-side signal in collector
+// slack), and the 20 ms cadence keeps the stop-the-world cost of
+// ReadMemStats negligible while still catching the build-phase transients.
+func peakHeap(f func()) uint64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak atomic.Uint64
+	peak.Store(base.HeapInuse)
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapInuse > peak.Load() {
+				peak.Store(ms.HeapInuse)
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}()
+	f()
+	close(done)
+	<-sampled
+	if p := peak.Load(); p > base.HeapInuse {
+		return p - base.HeapInuse
+	}
+	return 0
+}
+
+// graphBatches is a pull source that walks g's CSR rows directly: the
+// driver never materializes the full edge list, the defining condition of
+// the streaming memory experiment. Each undirected edge is emitted once,
+// from its lower endpoint.
+func graphBatches(g *graph.Graph, batch int) core.BatchSource {
+	v := graph.Vertex(0)
+	n := graph.Vertex(g.NumVertices())
+	buf := make([]graph.Edge, 0, batch)
+	return func() []graph.Edge {
+		buf = buf[:0]
+		for ; v < n && len(buf) < batch; v++ {
+			for _, w := range g.Neighbors(v) {
+				if w > v {
+					buf = append(buf, graph.Edge{U: v, V: w})
+				}
+			}
+		}
+		return buf
+	}
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+func memExperiment(name string, g *graph.Graph, algo core.Algorithm, p, batch int) memRow {
+	// Identical explicit δ for both paths: at the default δ ∈ O(|E_i|) the
+	// aggregation buffers grow to ~δ words per destination in BOTH modes,
+	// and their timing-dependent high-water (~100+ MB here) would drown the
+	// driver-side difference this experiment isolates.
+	cfg := core.Config{P: p, Threshold: 1 << 15}
+	var oneShot *core.Result
+	var err error
+	oneShotStart := time.Now()
+	oneShotPeak := peakHeap(func() { oneShot, err = core.Run(algo, g, cfg) })
+	oneShotWall := time.Since(oneShotStart)
+	fatalIf(err)
+
+	var sres *core.StreamResult
+	streamStart := time.Now()
+	streamPeak := peakHeap(func() {
+		sres, err = core.RunStream(algo, uint64(g.NumVertices()), graphBatches(g, batch), nil, cfg)
+	})
+	streamWall := time.Since(streamStart)
+	fatalIf(err)
+	if sres.Count != oneShot.Count {
+		fatalIf(fmt.Errorf("%s: streamed %d != one-shot %d", name, sres.Count, oneShot.Count))
+	}
+
+	return memRow{
+		Graph: name, Edges: g.NumEdges(), Algo: string(algo), P: p, Batch: batch,
+		Triangles:     sres.Count,
+		OneShotPeakMB: mb(oneShotPeak), StreamPeakMB: mb(streamPeak),
+		PeakRatio:       float64(oneShotPeak) / float64(streamPeak),
+		OneShotWallMs:   float64(oneShotWall.Microseconds()) / 1e3,
+		StreamWallMs:    float64(streamWall.Microseconds()) / 1e3,
+		EdgeListBoundMB: mb(uint64(g.NumEdges()) * 16),
+	}
+}
+
+func deltaExperiment(name string, g *graph.Graph, algo core.Algorithm, p, batch int) deltaRow {
+	cfg := core.Config{P: p}
+	edges := g.Edges()
+	split := len(edges) / 2
+	sres, err := core.RunStream(algo, uint64(g.NumVertices()),
+		core.SliceBatches(edges[:split], batch), core.SliceBatches(edges[split:], batch), cfg)
+	fatalIf(err)
+
+	recountStart := time.Now()
+	full, err := core.Run(algo, g, cfg)
+	fatalIf(err)
+	recountWall := time.Since(recountStart)
+	if sres.Count != full.Count {
+		fatalIf(fmt.Errorf("%s/%s: streamed %d != one-shot %d", name, algo, sres.Count, full.Count))
+	}
+
+	nb := len(sres.Deltas)
+	meanDelta := 0.0
+	if nb > 0 {
+		// PhaseStream folds the stage/delta/commit sub-phases, i.e. the full
+		// per-batch insert cost without the initial build/count.
+		meanDelta = float64(sres.Res.Phases[core.PhaseStream].Microseconds()) / 1e3 / float64(nb)
+	}
+	row := deltaRow{
+		Graph: name, Algo: string(algo), P: p, Batch: batch, Batches: nb,
+		Triangles: sres.Count, MeanDeltaMs: meanDelta,
+		FullRecountMs: float64(recountWall.Microseconds()) / 1e3,
+	}
+	if meanDelta > 0 {
+		row.RecountOverDelta = row.FullRecountMs / meanDelta
+	}
+	return row
+}
+
+// runQuick is the CI smoke: streamed count must equal the one-shot count
+// on a small stand-in for both streaming-capable algorithm families.
+func runQuick(p int) {
+	g := benchutil.Standins()[0].Build()
+	want, err := core.Run(core.AlgoCetric, g, core.Config{P: p})
+	fatalIf(err)
+	for _, algo := range []core.Algorithm{core.AlgoDiTric, core.AlgoCetric} {
+		sres, err := core.RunStream(algo, uint64(g.NumVertices()), graphBatches(g, 1<<12), nil, core.Config{P: p})
+		fatalIf(err)
+		if sres.Count != want.Count {
+			fatalIf(fmt.Errorf("quick: %s streamed %d, want %d", algo, sres.Count, want.Count))
+		}
+		edges := g.Edges()
+		split := len(edges) / 2
+		sres, err = core.RunStream(algo, uint64(g.NumVertices()),
+			core.SliceBatches(edges[:split], 1<<12), core.SliceBatches(edges[split:], 1<<12), core.Config{P: p})
+		fatalIf(err)
+		if sres.Count != want.Count {
+			fatalIf(fmt.Errorf("quick: %s insert-streamed %d, want %d", algo, sres.Count, want.Count))
+		}
+	}
+	fmt.Println("streambench quick: ok")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -62,8 +62,13 @@ func run() error {
 		codec     = flag.String("codec", "auto", "wire codec policy: auto|raw|varint|deltavarint")
 		hub       = flag.Int("hub", 0, "hub-bitmap threshold: min |A(v)| for a packed bitmap (0 = default, <0 = off)")
 
-		approx = flag.Bool("approx", false, "AMQ-approximate type-3 counting (CETRIC)")
-		bits   = flag.Float64("bits", 8, "Bloom filter bits per key for -approx")
+		approx  = flag.Bool("approx", false, "AMQ-approximate type-3 counting (CETRIC)")
+		bits    = flag.Float64("bits", 8, "Bloom filter bits per key for -approx")
+		doulion = flag.Float64("doulion", 0, "DOULION edge-sampling probability q ∈ (0,1] (0 = off)")
+		colors  = flag.Int("colors", 0, "colorful-sparsification color count (0 = off)")
+
+		stream = flag.Bool("stream", false, "streaming ingestion + incremental delta-counting (DITRIC/CETRIC)")
+		batch  = flag.Int("batch", 0, "edge batch size for -stream (0 = max(1024, m/8))")
 
 		tcpRank = flag.Int("tcp-rank", -1, "run as one rank of a TCP cluster (multi-process mode)")
 		peers   = flag.String("peers", "", "comma-separated listen addresses of all ranks")
@@ -86,7 +91,25 @@ func run() error {
 	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
+	// Flag validation up front: a NaN or out-of-range probability must die
+	// here, not as a scaled-by-1/NaN³ estimate 20 minutes into a run. The
+	// !(q > 0 && q ≤ 1) form rejects NaN too (both comparisons are false).
+	// It also runs before the seq fast path, which would otherwise silently
+	// ignore the flag and print an exact count dressed as an estimate run.
+	if q := *doulion; q != 0 && !(q > 0 && q <= 1) {
+		return fmt.Errorf("-doulion probability %v out of (0,1]", q)
+	}
+	if *colors < 0 {
+		return fmt.Errorf("-colors needs a positive color count, got %d", *colors)
+	}
+	if *doulion != 0 && *colors != 0 {
+		return fmt.Errorf("-doulion and -colors are mutually exclusive")
+	}
+
 	if *algoName == "seq" {
+		if *doulion != 0 || *colors != 0 || *approx || *stream {
+			return fmt.Errorf("-doulion, -colors, -approx, and -stream need a distributed algorithm, not seq")
+		}
 		start := time.Now()
 		count := core.SeqCount(g)
 		fmt.Printf("triangles: %d (sequential, %v)\n", count, time.Since(start).Round(time.Microsecond))
@@ -117,6 +140,34 @@ func run() error {
 		return runTCPRank(g, core.Algorithm(*algoName), cfg, *tcpRank, *peers)
 	}
 
+	if *stream {
+		if *lcc || *approx || *doulion != 0 || *colors != 0 {
+			return fmt.Errorf("-stream is incompatible with -lcc, -approx, -doulion, and -colors")
+		}
+		return runStream(g, core.Algorithm(*algoName), cfg, *batch, *verbose)
+	}
+
+	if *doulion != 0 {
+		est, res, err := core.RunDoulion(core.Algorithm(*algoName), g, cfg, *doulion, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("estimate: %.0f (DOULION q=%g, sparse count %d) in %v\n",
+			est, *doulion, res.Count, res.Wall.Round(time.Microsecond))
+		printComm(res.Agg, res.PerPE)
+		return nil
+	}
+	if *colors != 0 {
+		est, res, err := core.RunColorful(core.Algorithm(*algoName), g, cfg, *colors, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("estimate: %.0f (colorful ncolors=%d, monochrome count %d) in %v\n",
+			est, *colors, res.Count, res.Wall.Round(time.Microsecond))
+		printComm(res.Agg, res.PerPE)
+		return nil
+	}
+
 	if *approx {
 		res, err := core.RunApproxCetric(g, cfg, core.AMQConfig{BitsPerKey: *bits, Truthful: true})
 		if err != nil {
@@ -143,6 +194,33 @@ func run() error {
 	}
 	if *lcc {
 		printLCCSummary(res.LCC)
+	}
+	return nil
+}
+
+// runStream feeds the graph's edges through the streaming driver: the first
+// batch seeds the incrementally built initial graph, the rest are inserted
+// and delta-counted. The final count matches the one-shot run exactly.
+func runStream(g *graph.Graph, algo core.Algorithm, cfg core.Config, batch int, verbose bool) error {
+	edges := g.Edges()
+	if batch <= 0 {
+		batch = max(1024, len(edges)/8)
+	}
+	split := min(batch, len(edges))
+	start := time.Now()
+	sres, err := core.RunStream(algo, uint64(g.NumVertices()),
+		core.SliceBatches(edges[:split], batch), core.SliceBatches(edges[split:], batch), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("triangles: %d in %v (streamed: initial %d + %d batches of ≤%d edges, algo=%s)\n",
+		sres.Count, time.Since(start).Round(time.Microsecond), sres.Initial, len(sres.Deltas), batch, algo)
+	printComm(sres.Res.Agg, sres.Res.PerPE)
+	if verbose {
+		for b, d := range sres.Deltas {
+			fmt.Printf("  batch %-4d Δtriangles=%d\n", b, d)
+		}
+		printPhases(sres.Res)
 	}
 	return nil
 }

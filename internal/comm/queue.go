@@ -158,6 +158,22 @@ func NewQueue(c *Comm, threshold int, grid *Grid) *Queue {
 // Comm returns the underlying Comm (for metrics access).
 func (q *Queue) Comm() *Comm { return q.c }
 
+// Threshold returns the current aggregation threshold δ in words.
+func (q *Queue) Threshold() int { return q.threshold }
+
+// SetThreshold replaces the aggregation threshold δ (words; values < 1
+// clamp to 1). Streaming runs resolve δ per PE only once the resident
+// graph size is known — the queue is built before the first batch is
+// ingested — and may retune it between batches. Changing δ only moves the
+// overflow-flush boundary, never any record content, so it is safe at any
+// point where this PE is not mid-append.
+func (q *Queue) SetThreshold(words int) {
+	if words < 1 {
+		words = 1
+	}
+	q.threshold = words
+}
+
 // Handle registers the handler for a channel. Must be set before any record
 // for that channel can arrive.
 func (q *Queue) Handle(ch int, h Handler) {

@@ -451,3 +451,49 @@ func ExampleQueue() {
 	fmt.Println(<-out)
 	// Output: PE 1 got [42] from PE 0
 }
+
+// TestQueueSetThreshold pins the δ accessors the streaming driver relies on:
+// each PE retunes its own δ after the resident size is known, mid-session,
+// and later drain cycles must honor the new overflow boundary.
+func TestQueueSetThreshold(t *testing.T) {
+	const p = 3
+	runCluster(t, p, 8, false, func(rank int, c *Comm, q *Queue) {
+		if got := q.Threshold(); got != 8 {
+			t.Errorf("rank %d: initial threshold %d, want 8", rank, got)
+		}
+		q.SetThreshold(100 * (rank + 1)) // per-PE δ values may differ
+		if got := q.Threshold(); got != 100*(rank+1) {
+			t.Errorf("rank %d: threshold %d after set, want %d", rank, got, 100*(rank+1))
+		}
+		q.SetThreshold(0) // clamped: δ < 1 would flush forever
+		if got := q.Threshold(); got != 1 {
+			t.Errorf("rank %d: threshold %d after clamp, want 1", rank, got)
+		}
+		q.SetThreshold(4)
+
+		// Repeated drain cycles with the retuned δ: the streaming driver runs
+		// one Drain per inserted batch on the same queue, so records must keep
+		// flowing after each quiescence point.
+		var got []uint64
+		q.Handle(1, func(src int, words []uint64) { got = append(got, words...) })
+		c.Barrier()
+		for cycle := 0; cycle < 5; cycle++ {
+			got = got[:0]
+			for dst := 0; dst < p; dst++ {
+				if dst != rank {
+					q.Send(1, dst, []uint64{uint64(cycle)<<8 | uint64(rank)})
+				}
+			}
+			q.Drain()
+			if len(got) != p-1 {
+				t.Errorf("rank %d cycle %d: received %d records, want %d", rank, cycle, len(got), p-1)
+			}
+			for _, w := range got {
+				if int(w>>8) != cycle {
+					t.Errorf("rank %d cycle %d: stale record %#x", rank, cycle, w)
+				}
+			}
+			c.Barrier()
+		}
+	})
+}

@@ -16,6 +16,12 @@ func cetricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	sw := newStopwatch(pe.C, out)
 	sw.phase(PhaseBuild)
 	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
+	return cetricFrom(pe, pt, lg, cfg, out, sw)
+}
+
+// cetricFrom runs CETRIC's phases on an already-built local view — the
+// entry point shared by the one-shot body above and the streaming driver.
+func cetricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Config, out *peOutcome, sw *stopwatch) error {
 	sw.phase(PhaseDegrees)
 	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange, cfg.Threads)
 	sw.phase(PhaseOrient)

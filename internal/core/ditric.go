@@ -17,6 +17,14 @@ func ditricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config,
 	sw := newStopwatch(pe.C, out)
 	sw.phase(PhaseBuild)
 	lg := graph.BuildLocalPar(pt, pe.Rank, edges, cfg.Threads)
+	return ditricFrom(pe, pt, lg, cfg, out, sw)
+}
+
+// ditricFrom runs DITRIC's phases on an already-built local view — the
+// entry point shared by the one-shot body above and the streaming driver
+// (which builds lg incrementally through graph.StreamBuilder before any
+// counting starts).
+func ditricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Config, out *peOutcome, sw *stopwatch) error {
 	sw.phase(PhaseDegrees)
 	exchangeGhostDegrees(pe, lg, cfg.SparseDegreeExchange, cfg.Threads)
 	sw.phase(PhaseOrient)

@@ -28,7 +28,10 @@ func SparsifyDoulion(g *graph.Graph, q float64, seed uint64) *graph.Graph {
 // RunDoulion estimates the triangle count: sparsify with probability q,
 // count exactly with algo, scale by 1/q³.
 func RunDoulion(algo Algorithm, g *graph.Graph, cfg Config, q float64, seed uint64) (float64, *Result, error) {
-	if q <= 0 || q > 1 {
+	// Written as a negated conjunction so NaN is rejected too: both NaN ≤ 0
+	// and NaN > 1 are false, so the direct two-clause check would accept it
+	// and scale the estimate by 1/NaN³.
+	if !(q > 0 && q <= 1) {
 		return 0, nil, fmt.Errorf("core: DOULION probability %v out of (0,1]", q)
 	}
 	sparse := SparsifyDoulion(g, q, seed)
@@ -43,6 +46,11 @@ func RunDoulion(algo Algorithm, g *graph.Graph, cfg Config, q float64, seed uint
 // only monochromatic edges (Pagh & Tsourakakis). Each triangle survives iff
 // all three corners share a color: probability 1/ncolors².
 func SparsifyColorful(g *graph.Graph, ncolors int, seed uint64) *graph.Graph {
+	if ncolors < 1 {
+		// Direct callers bypass RunColorful's validation; without this the
+		// modulo below panics with an opaque divide-by-zero.
+		panic(fmt.Sprintf("core: colorful sparsification needs at least one color, got %d", ncolors))
+	}
 	color := func(v graph.Vertex) uint64 { return gen.Hash64(seed, v) % uint64(ncolors) }
 	var kept []graph.Edge
 	g.ForEachEdge(func(u, v graph.Vertex) {

@@ -105,7 +105,10 @@ func RunRank(algo Algorithm, g *graph.Graph, cfg Config, ep transport.Endpoint) 
 	if err := applyCodecs(pe.Q, cfg.Codec); err != nil {
 		return 0, comm.Metrics{}, err
 	}
-	edges := graph.ScatterEdgesPar(pt, g.Edges(), cfg.Threads)[pe.Rank]
+	// Rank-filtered scatter: every process of a TCP cluster runs this, so
+	// materializing all p slices just to keep one would cost O(|E|) words
+	// per process instead of O(|E_rank|).
+	edges := graph.ScatterEdgesRank(pt, g.Edges(), pe.Rank, cfg.Threads)
 	out := newPEOutcome()
 	if err := body(pe, pt, edges, cfg, out); err != nil {
 		return 0, pe.C.M, err

@@ -40,6 +40,21 @@ import (
 // memory; this only moves flushes earlier.
 const overlapFlushWords = 1 << 10
 
+// overlapWatermark resolves the eager-flush watermark for aggregation
+// threshold δ: overlapFlushWords clamped to δ/2. DefaultThreshold floors δ
+// at 1024 — exactly overlapFlushWords — so on tiny graphs (and explicit
+// small -delta values) the raw constant would sit at or above δ, and eager
+// flushing would silently never fire before the overflow flush. Clamping to
+// half of δ keeps the watermark strictly below the overflow boundary for
+// every δ > 1.
+func overlapWatermark(threshold int) int {
+	wm := overlapFlushWords
+	if half := threshold / 2; half < wm {
+		wm = half
+	}
+	return max(wm, 1)
+}
+
 // dequeBatch is how many parked records a worker steals per deque lock
 // acquisition.
 const dequeBatch = 32
@@ -217,6 +232,10 @@ type overlapPipeline struct {
 	fn      globalFn
 	threads int
 
+	// flushWords is the eager-flush watermark: overlapFlushWords clamped
+	// below the queue's δ (overlapWatermark), resolved once per run.
+	flushWords int
+
 	workers   []*countState  // private per-worker states (threads > 1)
 	scratches [][]recvRecord // per-worker steal scratch
 	fscratch  []recvRecord   // funnel/main steal scratch
@@ -228,8 +247,9 @@ func newOverlapPipeline(pe *dist.PE, sw *stopwatch, lg *graph.LocalGraph, cfg Co
 	state *countState, fn globalFn) *overlapPipeline {
 	op := &overlapPipeline{
 		pe: pe, sw: sw, state: state, dq: newStealDeque(), fn: fn,
-		threads:  cfg.Threads,
-		fscratch: make([]recvRecord, dequeBatch),
+		threads:    cfg.Threads,
+		flushWords: overlapWatermark(pe.Q.Threshold()),
+		fscratch:   make([]recvRecord, dequeBatch),
 	}
 	if cfg.Threads > 1 {
 		op.workers = make([]*countState, cfg.Threads)
@@ -273,7 +293,7 @@ func (op *overlapPipeline) stageSeq(phase string, rows int, canSteal bool,
 		if !canSteal {
 			continue
 		}
-		pe.Q.FlushIfOver(overlapFlushWords)
+		pe.Q.FlushIfOver(op.flushWords)
 		op.sw.phase(PhaseGlobalRecv)
 		t0 := time.Now()
 		did := pe.Q.Poll()
@@ -346,7 +366,7 @@ func (op *overlapPipeline) stagePar(rows int, canSteal bool,
 		for s := range sends {
 			pe.Q.Send(s.ch, s.dst, *s.payload)
 			payloadPool.Put(s.payload)
-			pe.Q.FlushIfOver(overlapFlushWords)
+			pe.Q.FlushIfOver(op.flushWords)
 		}
 		return
 	}
@@ -358,7 +378,7 @@ func (op *overlapPipeline) stagePar(rows int, canSteal bool,
 			}
 			pe.Q.Send(s.ch, s.dst, *s.payload)
 			payloadPool.Put(s.payload)
-			pe.Q.FlushIfOver(overlapFlushWords)
+			pe.Q.FlushIfOver(op.flushWords)
 		default:
 			// No shipment pending: ingest incoming frames (handlers park
 			// records on the deque) unless the decoded backlog is past the

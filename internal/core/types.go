@@ -74,6 +74,19 @@ const (
 	PhaseOverlapIdle = PhaseOverlap + "/idle"
 )
 
+// Streaming phases (RunStream). PhaseIngest covers folding the initial
+// batches into the resident adjacency (folded into PhasePreprocess, next to
+// the build that seals it); the stream/ sub-phases split the per-batch
+// insert loop — staging a batch, delta-counting it, merging it into the
+// resident rows — and fold into PhaseStream for the total.
+const (
+	PhaseIngest       = PhasePreprocess + "/ingest"
+	PhaseStream       = "stream"
+	PhaseStreamStage  = PhaseStream + "/stage"
+	PhaseStreamDelta  = PhaseStream + "/delta"
+	PhaseStreamCommit = PhaseStream + "/commit"
+)
+
 // Config controls a distributed run.
 type Config struct {
 	P         int  // number of PEs (required)

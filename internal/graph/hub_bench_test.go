@@ -144,4 +144,3 @@ func buildLocalForBench(g *graph.Graph, p, rank int) (*part.Partition, *graph.Lo
 	}
 	return pt, lg
 }
-

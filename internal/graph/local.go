@@ -374,26 +374,35 @@ func (l *LocalGraph) isLocal(v Vertex) bool { return v >= l.First && v < l.Last 
 // previous hit + 1 as from, so a whole scan costs O(k log gap) array probes
 // with no hashing.
 func (l *LocalGraph) ghostSearch(x Vertex, from int) (int, bool) {
-	gid := l.ghostID
+	return searchFrom(l.ghostID, x, from)
+}
+
+// searchFrom finds x in the ascending slice s at or after index from by
+// exponential + binary search, returning the insertion index and whether x
+// is present. Callers scanning an ascending probe sequence pass the
+// previous hit + 1 as from, so a whole scan costs O(k log gap) array
+// probes. Shared by the ghost machinery and the streaming builder's
+// staged-batch subtraction.
+func searchFrom(s []Vertex, x Vertex, from int) (int, bool) {
 	lo, hi := from, from
 	step := 1
-	for hi < len(gid) && gid[hi] < x {
+	for hi < len(s) && s[hi] < x {
 		lo = hi + 1
 		hi += step
 		step *= 2
 	}
-	if hi > len(gid) {
-		hi = len(gid)
+	if hi > len(s) {
+		hi = len(s)
 	}
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if gid[mid] < x {
+		if s[mid] < x {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(gid) && gid[lo] == x {
+	if lo < len(s) && s[lo] == x {
 		return lo, true
 	}
 	return lo, false

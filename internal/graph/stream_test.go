@@ -1,0 +1,241 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/testgraph"
+)
+
+// Streaming-build equivalence: folding a rank's scattered edges batch by
+// batch and sealing must reproduce BuildLocalPar of the same edges exactly,
+// and the rank-filtered scatter must reproduce the rank's slice of the full
+// scatter exactly.
+
+var streamPs = []int{1, 2, 4, 8}
+var streamBatches = []int{1, 7, 97, 1 << 20}
+
+func TestScatterEdgesRankMatchesPar(t *testing.T) {
+	for _, fx := range testgraph.All {
+		g := fx.Build()
+		edges := g.Edges()
+		for _, p := range streamPs {
+			pt := part.Uniform(uint64(g.NumVertices()), p)
+			for _, threads := range []int{1, 3} {
+				full := graph.ScatterEdgesPar(pt, edges, threads)
+				for rank := 0; rank < p; rank++ {
+					got := graph.ScatterEdgesRank(pt, edges, rank, threads)
+					want := full[rank]
+					if len(got) != len(want) {
+						t.Fatalf("%s p=%d rank=%d threads=%d: %d edges, want %d",
+							fx.Name, p, rank, threads, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s p=%d rank=%d: edge %d = %v, want %v",
+								fx.Name, p, rank, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// requireLocalGraphsEqual compares two local views through the accessor
+// surface the counting phases use.
+func requireLocalGraphsEqual(t *testing.T, tag string, got, want *graph.LocalGraph) {
+	t.Helper()
+	if got.NLocal() != want.NLocal() || got.NGhost() != want.NGhost() {
+		t.Fatalf("%s: shape (%d,%d), want (%d,%d)",
+			tag, got.NLocal(), got.NGhost(), want.NLocal(), want.NGhost())
+	}
+	gg, wg := got.Ghosts(), want.Ghosts()
+	for i := range wg {
+		if gg[i] != wg[i] {
+			t.Fatalf("%s: ghost %d = %d, want %d", tag, i, gg[i], wg[i])
+		}
+	}
+	for r := 0; r < want.Rows(); r++ {
+		gr, wr := got.RowNeighbors(int32(r)), want.RowNeighbors(int32(r))
+		if len(gr) != len(wr) {
+			t.Fatalf("%s: row %d has %d entries, want %d", tag, r, len(gr), len(wr))
+		}
+		for i := range wr {
+			if gr[i] != wr[i] {
+				t.Fatalf("%s: row %d entry %d = %d, want %d", tag, r, i, gr[i], wr[i])
+			}
+		}
+		grr, wrr := got.RowNeighborRows(int32(r)), want.RowNeighborRows(int32(r))
+		for i := range wrr {
+			if grr[i] != wrr[i] {
+				t.Fatalf("%s: row %d row-entry %d = %d, want %d", tag, r, i, grr[i], wrr[i])
+			}
+		}
+		if got.Degree(int32(r)) != want.Degree(int32(r)) {
+			t.Fatalf("%s: row %d degree %d, want %d", tag, r, got.Degree(int32(r)), want.Degree(int32(r)))
+		}
+	}
+}
+
+func TestStreamBuilderSealMatchesBuildLocalPar(t *testing.T) {
+	for _, fx := range testgraph.All {
+		g := fx.Build()
+		edges := g.Edges()
+		for _, p := range streamPs {
+			pt := part.Uniform(uint64(g.NumVertices()), p)
+			slices := graph.ScatterEdgesPar(pt, edges, 1)
+			for rank := 0; rank < p; rank++ {
+				want := graph.BuildLocalPar(pt, rank, slices[rank], 1)
+				for _, batch := range streamBatches {
+					for _, threads := range []int{1, 3} {
+						sb := graph.NewStreamBuilder(pt, rank)
+						mine := slices[rank]
+						for lo := 0; lo < len(mine); lo += batch {
+							sb.Fold(mine[lo:min(lo+batch, len(mine))], threads)
+						}
+						got := sb.Seal(threads)
+						requireLocalGraphsEqual(t, fx.Name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamBuilderSealShuffled checks that arrival order does not matter:
+// the sealed view of a shuffled, duplicated edge stream equals the ordered
+// build.
+func TestStreamBuilderSealShuffled(t *testing.T) {
+	g := testgraph.All[0].Build()
+	edges := g.Edges()
+	pt := part.Uniform(uint64(g.NumVertices()), 4)
+	want := graph.BuildLocalPar(pt, 1, graph.ScatterEdgesPar(pt, edges, 1)[1], 1)
+
+	rng := rand.New(rand.NewSource(7))
+	stream := append(append([]graph.Edge{}, edges...), edges[:len(edges)/2]...) // re-sent edges
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	sb := graph.NewStreamBuilder(pt, 1)
+	for lo := 0; lo < len(stream); lo += 13 {
+		batch := stream[lo:min(lo+13, len(stream))]
+		sb.Fold(graph.ScatterEdgesRank(pt, batch, 1, 1), 1)
+	}
+	requireLocalGraphsEqual(t, "shuffled", sb.Seal(1), want)
+}
+
+// TestStreamBuilderSealRelease checks the releasing variant produces the
+// identical view and leaves the builder spent.
+func TestStreamBuilderSealRelease(t *testing.T) {
+	for _, fx := range testgraph.All[:4] {
+		g := fx.Build()
+		edges := g.Edges()
+		pt := part.Uniform(uint64(g.NumVertices()), 4)
+		slices := graph.ScatterEdgesPar(pt, edges, 1)
+		for rank := 0; rank < 4; rank++ {
+			want := graph.BuildLocalPar(pt, rank, slices[rank], 1)
+			for _, threads := range []int{1, 3} {
+				sb := graph.NewStreamBuilder(pt, rank)
+				mine := slices[rank]
+				for lo := 0; lo < len(mine); lo += 29 {
+					sb.Fold(mine[lo:min(lo+29, len(mine))], 1)
+				}
+				requireLocalGraphsEqual(t, fx.Name+"/release", sb.SealRelease(threads), want)
+			}
+		}
+	}
+	// A released builder is spent: staging into it must panic.
+	pt := part.Uniform(8, 2)
+	sb := graph.NewStreamBuilder(pt, 0)
+	sb.Fold([]graph.Edge{{U: 0, V: 5}}, 1)
+	sb.SealRelease(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic staging into a released builder")
+		}
+	}()
+	sb.Stage([]graph.Edge{{U: 1, V: 2}}, 1)
+}
+
+func TestStreamBuilderStageSemantics(t *testing.T) {
+	pt := part.Uniform(8, 2) // rank 0 owns [0,4)
+	sb := graph.NewStreamBuilder(pt, 0)
+	sb.Fold([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 5}}, 1)
+	if sb.Entries() != 3 { // 0-1 twice, 1-5 once
+		t.Fatalf("resident entries = %d, want 3", sb.Entries())
+	}
+
+	// Batch: a self-loop (dropped), a duplicate of a resident edge
+	// (subtracted), an intra-batch duplicate (deduplicated), and new edges.
+	sb.Stage([]graph.Edge{
+		{U: 2, V: 2},         // self-loop
+		{U: 0, V: 1},         // resident duplicate
+		{U: 1, V: 6}, {6, 1}, // intra-batch duplicate
+		{U: 0, V: 7}, // new cut edge
+	}, 1)
+	if got := sb.StagedEntries(); got != 2 {
+		t.Fatalf("staged entries = %d, want 2", got)
+	}
+	if d := sb.StagedRowOf(1); len(d) != 1 || d[0] != 6 {
+		t.Fatalf("Δ(1) = %v, want [6]", d)
+	}
+	if d := sb.StagedRowOf(0); len(d) != 1 || d[0] != 7 {
+		t.Fatalf("Δ(0) = %v, want [7]", d)
+	}
+	// Resident rows unchanged until Commit.
+	if r := sb.Row(1); len(r) != 2 {
+		t.Fatalf("pre-commit row 1 = %v, want 2 entries", r)
+	}
+	sb.Commit(1)
+	if r := sb.Row(1); len(r) != 3 || r[0] != 0 || r[1] != 5 || r[2] != 6 {
+		t.Fatalf("post-commit row 1 = %v, want [0 5 6]", r)
+	}
+	if sb.Entries() != 5 {
+		t.Fatalf("post-commit entries = %d, want 5", sb.Entries())
+	}
+	if len(sb.Staged()) != 0 {
+		t.Fatalf("staged rows not cleared: %v", sb.Staged())
+	}
+}
+
+func TestStreamBuilderMisuse(t *testing.T) {
+	requirePanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	pt := part.Uniform(8, 2)
+	sb := graph.NewStreamBuilder(pt, 0)
+	sb.Stage([]graph.Edge{{U: 0, V: 1}}, 1)
+	requirePanic("double stage", func() { sb.Stage(nil, 1) })
+	requirePanic("seal with staged", func() { sb.Seal(1) })
+	sb.Commit(1)
+	requirePanic("commit without stage", func() { sb.Commit(1) })
+	requirePanic("foreign edge", func() { sb.Stage([]graph.Edge{{U: 5, V: 6}}, 1) })
+}
+
+// BenchmarkStreamInsertSteadyState pins the per-batch insert path: staging
+// and committing a batch whose edges are already resident must not allocate
+// once the retained scratch has warmed up (CI allocation gate).
+func BenchmarkStreamInsertSteadyState(b *testing.B) {
+	g := gen.GNM(1<<10, 1<<13, 1)
+	pt := part.Uniform(uint64(g.NumVertices()), 2)
+	mine := graph.ScatterEdgesRank(pt, g.Edges(), 0, 1)
+	sb := graph.NewStreamBuilder(pt, 0)
+	sb.Fold(mine, 1)
+	batch := mine[:min(256, len(mine))]
+	// Warm the retained scratch.
+	sb.Stage(batch, 1)
+	sb.Commit(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Stage(batch, 1)
+		sb.Commit(1)
+	}
+}

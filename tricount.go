@@ -46,6 +46,13 @@ type Graph = graph.Graph
 // Vertex is a global vertex identifier.
 type Vertex = graph.Vertex
 
+// Edge is an undirected edge between two global vertex IDs.
+type Edge = graph.Edge
+
+// FromEdges builds a Graph on n vertices from an edge list, dropping
+// self-loops and duplicate edges.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
 // Algorithm selects a distributed counting algorithm.
 type Algorithm = core.Algorithm
 
@@ -103,6 +110,9 @@ type Options struct {
 	// the size of the A-lists themselves. See the README's "hot path &
 	// kernel selection" section for tuning guidance.
 	HubThreshold int
+	// BatchSize is the edge batch granularity of the streaming entry points
+	// (Stream); ≤ 0 picks max(1024, m/8). Count ignores it.
+	BatchSize int
 	// Codec selects the wire codec policy for message payloads. The empty
 	// string (or CodecAuto) picks tuned per-channel codecs: sorted
 	// adjacency shipments travel delta+varint compressed, small-integer
@@ -175,6 +185,39 @@ func (o Options) toConfig() core.Config {
 // Count runs algo on g with opt and returns the merged result.
 func Count(g *Graph, algo Algorithm, opt Options) (*Result, error) {
 	return core.Run(algo, g, opt.toConfig())
+}
+
+// BatchSource yields successive edge batches of a stream; returning nil or
+// an empty batch ends the source.
+type BatchSource = core.BatchSource
+
+// StreamResult reports a streaming run: the initial count, the per-batch
+// triangle deltas, and the final count.
+type StreamResult = core.StreamResult
+
+// Stream counts g's triangles through the streaming driver: the first
+// batches of g's edges (opt.BatchSize each) seed the incrementally built
+// initial graph, the remaining batches are inserted one by one and
+// delta-counted as tri(G+Δ) − tri(G) without recounting. The final count is
+// identical to Count; per-PE memory stays O(|E_i| + batch) end to end.
+// DITRIC/CETRIC variants only; LCC is not supported while streaming.
+func Stream(g *Graph, algo Algorithm, opt Options) (*StreamResult, error) {
+	edges := g.Edges()
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = max(1024, len(edges)/8)
+	}
+	split := min(batch, len(edges))
+	return core.RunStream(algo, uint64(g.NumVertices()), core.SliceBatches(edges[:split], batch),
+		core.SliceBatches(edges[split:], batch), opt.toConfig())
+}
+
+// StreamEdges counts triangles of a streamed edge list on n vertices:
+// initial's batches build the starting graph, then each batch of inserts is
+// delta-counted. Either source may be nil. Duplicate edges and self-loops
+// are dropped exactly like FromEdges drops them.
+func StreamEdges(n int, algo Algorithm, initial, inserts BatchSource, opt Options) (*StreamResult, error) {
+	return core.RunStream(algo, uint64(n), initial, inserts, opt.toConfig())
 }
 
 // CountSeq counts triangles sequentially (EDGE ITERATOR / COMPACT-FORWARD).

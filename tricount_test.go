@@ -167,3 +167,50 @@ func TestPartitionByCost(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamFacade(t *testing.T) {
+	g := GenerateRMAT(9, 8, 3)
+	want := CountSeq(g)
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+		sres, err := Stream(g, algo, Options{PEs: 4, BatchSize: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Count != want {
+			t.Fatalf("%s: streamed %d, want %d", algo, sres.Count, want)
+		}
+		var sum uint64
+		for _, d := range sres.Deltas {
+			sum += d
+		}
+		if sres.Initial+sum != sres.Count {
+			t.Fatalf("%s: Initial %d + deltas %d != Count %d", algo, sres.Initial, sum, sres.Count)
+		}
+	}
+}
+
+func TestStreamEdgesFacade(t *testing.T) {
+	g := GenerateGNM(256, 2048, 9)
+	edges := g.Edges()
+	want := CountSeq(g)
+	i := 0
+	pull := func() []Edge { // hand-rolled pull source, 100 edges at a time
+		if i >= len(edges) {
+			return nil
+		}
+		j := min(i+100, len(edges))
+		b := edges[i:j]
+		i = j
+		return b
+	}
+	sres, err := StreamEdges(g.NumVertices(), AlgoCetric, nil, pull, Options{PEs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Count != want || sres.Initial != 0 {
+		t.Fatalf("streamed %d (initial %d), want %d (initial 0)", sres.Count, sres.Initial, want)
+	}
+	if rebuilt := FromEdges(g.NumVertices(), edges); CountSeq(rebuilt) != want {
+		t.Fatalf("FromEdges round trip lost triangles")
+	}
+}
