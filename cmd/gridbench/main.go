@@ -1,0 +1,215 @@
+// Command gridbench compares the communication volume of the 2D
+// grid-partitioned backend (TK2D, PR 7) against the 1D counters
+// (DITRIC/CETRIC) across a PE sweep: for each benchmark stand-in and each
+// square p it runs all three algorithms, records the measured bytes that
+// crossed the wire (codec-encoded, total and worst-PE), and evaluates the
+// α+β wire lenses — costmodel.BottleneckWire for the asynchronous 1D queue
+// and costmodel.BottleneckWire2D for the blocking 2D collective exchange —
+// on every built-in network profile. The crossover table reports, per graph
+// and profile, the smallest swept p at which the modeled 2D exchange beats
+// the modeled 1D shipping. Triangle counts must agree across all three
+// algorithms everywhere — the tool exits nonzero otherwise, and it also
+// fails if TK2D's measured wire bytes do not undercut DITRIC's on the
+// skewed (rmat/rhg) stand-ins at p ≥ 16, the acceptance condition behind
+// BENCH_pr7.json:
+//
+//	go run ./cmd/gridbench > BENCH_pr7.json
+//
+// The volume logic: a TK2D PE ships its ~|E|/p-edge block 2(√p−1) times —
+// O(|E|/√p) total per PE no matter how the graph is cut — while the 1D
+// counters ship cut neighborhoods, whose volume tracks how many PEs each
+// vertex's neighborhood spans and approaches O(|E|) per PE on dense or
+// skewed graphs at large p. The sweep therefore runs the shared sparse
+// stand-ins as controls (1D wins there: neighborhoods span few PEs, the
+// broadcast factor has nothing to amortize against) alongside the
+// dense/skewed operating points (rmat-2^13 and a dense heavy-tailed RHG)
+// where cut shipping explodes and the block geometry pays off — only the
+// latter carry the wire-byte acceptance gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+type row struct {
+	Graph        string             `json:"graph"`
+	Algo         string             `json:"algo"`
+	P            int                `json:"p"`
+	Triangles    uint64             `json:"triangles"`
+	WallMs       float64            `json:"wall_ms"`
+	Frames       int64              `json:"frames"`
+	WireBytes    int64              `json:"wire_bytes"`        // total encoded bytes sent, all PEs
+	MaxWireBytes int64              `json:"max_wire_bytes_pe"` // worst PE's sent encoded bytes
+	ModeledMs    map[string]float64 `json:"modeled_wire_ms"`   // BottleneckWire (1D) / BottleneckWire2D (tk2d)
+}
+
+type crossover struct {
+	Graph   string `json:"graph"`
+	Profile string `json:"profile"`
+	// CrossoverP is the smallest swept p where the modeled 2D exchange beats
+	// the modeled 1D (DITRIC) shipping; 0 when no swept p crosses.
+	CrossoverP int `json:"crossover_p"`
+	// Ratio2Dover1D maps p to modeled tk2d / modeled ditric time (< 1 means
+	// the 2D exchange wins at that p).
+	Ratio2Dover1D map[string]float64 `json:"ratio_2d_over_1d"`
+}
+
+type report struct {
+	Note       string      `json:"note"`
+	Go         string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	PEs        []int       `json:"pes"`
+	Threads    int         `json:"threads"`
+	Rows       []row       `json:"rows"`
+	Crossovers []crossover `json:"crossovers"`
+}
+
+var algos = []core.Algorithm{core.AlgoTK2D, core.AlgoDiTric, core.AlgoCetric}
+
+// instance is one swept graph: the shared benchutil stand-ins (sparse
+// controls) plus the dense/skewed operating points. Gate marks the instances
+// whose TK2D-vs-DITRIC wire bytes at p ≥ 16 are an acceptance condition.
+type instance struct {
+	benchutil.Standin
+	Gate bool
+}
+
+func instances() []instance {
+	var out []instance
+	for _, s := range benchutil.Standins() {
+		// rmat-2^13 is the catalog's dense/skewed case; the two 16-average-
+		// degree geometric instances are sparse controls.
+		out = append(out, instance{s, s.Name == "rmat-2^13"})
+	}
+	out = append(out, instance{benchutil.Standin{
+		Name: "rhg-dense-2^12", Skewed: true,
+		Build: func() *graph.Graph {
+			return gen.RHG(gen.RHGConfig{N: 1 << 12, AvgDegree: 128, Gamma: 2.2, Seed: 42})
+		},
+	}, true})
+	return out
+}
+
+func main() {
+	var (
+		threads = flag.Int("threads", 2, "worker threads per PE")
+		reps    = flag.Int("reps", 3, "repetitions per configuration (best wall wins)")
+		quick   = flag.Bool("quick", false, "single repetition, reduced PE sweep (CI smoke)")
+	)
+	flag.Parse()
+	ps := []int{4, 9, 16, 25}
+	if *quick {
+		*reps = 1
+		// Keep the p≥16 acceptance point in the smoke sweep.
+		ps = []int{4, 16}
+	}
+	rep := report{
+		Note: "2D grid (tk2d) vs 1D (ditric/cetric) communication volume across a square-p sweep. " +
+			"wire_bytes are measured codec-encoded bytes sent (total across PEs; max_wire_bytes_pe " +
+			"the worst PE), frames the total sent frames. modeled_wire_ms evaluates the wire-byte " +
+			"α+β lens per profile: BottleneckWire for the asynchronous 1D queue (send side on the " +
+			"critical path), BottleneckWire2D for the blocking 2D collective exchange (both " +
+			"directions). crossover_p is the smallest swept p where modeled tk2d beats modeled " +
+			"ditric on that graph and profile; ratio_2d_over_1d < 1 means tk2d wins at that p. " +
+			"Counts are verified identical across all three algorithms; the tool fails unless " +
+			"tk2d's measured wire bytes undercut ditric's on the skewed (rmat/rhg) stand-ins at " +
+			"p >= 16.",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PEs:        ps,
+		Threads:    *threads,
+	}
+	ok := true
+	for _, spec := range instances() {
+		g := spec.Build()
+		// rows[p][algo] for the crossover scan below.
+		byP := make(map[int]map[core.Algorithm]row)
+		for _, p := range ps {
+			byP[p] = make(map[core.Algorithm]row)
+			for _, algo := range algos {
+				r := measure(spec.Name, g, algo, p, *threads, *reps)
+				byP[p][algo] = r
+				rep.Rows = append(rep.Rows, r)
+			}
+			if d, t := byP[p][core.AlgoDiTric], byP[p][core.AlgoTK2D]; d.Triangles != t.Triangles ||
+				byP[p][core.AlgoCetric].Triangles != t.Triangles {
+				fmt.Fprintf(os.Stderr, "gridbench: %s p=%d: counts disagree (tk2d=%d ditric=%d cetric=%d)\n",
+					spec.Name, p, t.Triangles, d.Triangles, byP[p][core.AlgoCetric].Triangles)
+				os.Exit(1)
+			}
+			if spec.Gate && p >= 16 {
+				d, t := byP[p][core.AlgoDiTric], byP[p][core.AlgoTK2D]
+				if t.WireBytes >= d.WireBytes {
+					fmt.Fprintf(os.Stderr, "gridbench: %s p=%d: tk2d wire bytes %d not below ditric %d\n",
+						spec.Name, p, t.WireBytes, d.WireBytes)
+					ok = false
+				}
+			}
+		}
+		for _, prof := range costmodel.Profiles() {
+			c := crossover{Graph: spec.Name, Profile: prof.Name, Ratio2Dover1D: map[string]float64{}}
+			for _, p := range ps {
+				d := byP[p][core.AlgoDiTric].ModeledMs[prof.Name]
+				t := byP[p][core.AlgoTK2D].ModeledMs[prof.Name]
+				if d > 0 {
+					c.Ratio2Dover1D[fmt.Sprintf("p=%d", p)] = t / d
+				}
+				if c.CrossoverP == 0 && d > 0 && t < d {
+					c.CrossoverP = p
+				}
+			}
+			rep.Crossovers = append(rep.Crossovers, c)
+		}
+	}
+	benchutil.WriteJSON("gridbench", rep)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func measure(name string, g *graph.Graph, algo core.Algorithm, p, threads, reps int) row {
+	var best *core.Result
+	for i := 0; i < reps; i++ {
+		res, err := core.Run(algo, g, core.Config{P: p, Threads: threads})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %s/%s p=%d: %v\n", name, algo, p, err)
+			os.Exit(1)
+		}
+		if best == nil || res.Wall < best.Wall {
+			best = res
+		}
+	}
+	var maxSent int64
+	for _, m := range best.PerPE {
+		maxSent = max(maxSent, m.EncodedBytes)
+	}
+	modeled := make(map[string]float64, len(costmodel.Profiles()))
+	for _, prof := range costmodel.Profiles() {
+		if algo == core.AlgoTK2D {
+			modeled[prof.Name] = ms(costmodel.BottleneckWire2D(best.PerPE, prof))
+		} else {
+			modeled[prof.Name] = ms(costmodel.BottleneckWire(best.PerPE, prof))
+		}
+	}
+	return row{
+		Graph: name, Algo: string(algo), P: p,
+		Triangles:    best.Count,
+		WallMs:       ms(best.Wall),
+		Frames:       best.Agg.TotalFrames,
+		WireBytes:    best.Agg.TotalEncodedBytes,
+		MaxWireBytes: maxSent,
+		ModeledMs:    modeled,
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

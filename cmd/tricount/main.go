@@ -51,7 +51,7 @@ func run() error {
 		seed       = flag.Uint64("seed", 42, "generator seed")
 		scale      = flag.Int("scale", 0, "instance size shift (powers of two)")
 
-		algoName  = flag.String("algo", "cetric", "algorithm: seq|ditric|ditric2|cetric|cetric2|tric|havoq|noagg")
+		algoName  = flag.String("algo", "cetric", "algorithm: seq|ditric|ditric2|cetric|cetric2|tk2d|tric|havoq|noagg (tk2d needs a square -p)")
 		p         = flag.Int("p", 8, "number of PEs")
 		threshold = flag.Int("delta", 0, "aggregation threshold δ in words (0 = O(|E_i|))")
 		threads   = flag.Int("threads", 1, "threads per PE (hybrid counting + parallel preprocessing)")
@@ -60,6 +60,7 @@ func run() error {
 		sparse    = flag.Bool("sparse-degree", false, "sparse ghost degree exchange")
 		partBy    = flag.String("partition", "uniform", "1D partitioner: uniform|degree|wedges")
 		codec     = flag.String("codec", "auto", "wire codec policy: auto|raw|varint|deltavarint")
+		profile   = flag.String("profile", "", "costmodel network profile (supercomputer|cloud|wan): derives the overlapped pipeline's flush watermark; empty keeps the fixed default")
 		hub       = flag.Int("hub", 0, "hub-bitmap threshold: min |A(v)| for a packed bitmap (0 = default, <0 = off)")
 
 		approx  = flag.Bool("approx", false, "AMQ-approximate type-3 counting (CETRIC)")
@@ -122,7 +123,7 @@ func run() error {
 	cfg := core.Config{
 		P: *p, Threshold: *threshold, Threads: *threads, Overlap: *overlap,
 		LCC: *lcc, SparseDegreeExchange: *sparse, Codec: *codec,
-		HubThreshold: *hub,
+		HubThreshold: *hub, Profile: *profile,
 	}
 	switch *partBy {
 	case "uniform":
@@ -188,6 +189,15 @@ func run() error {
 		fmt.Printf("types: local=%d two-PE=%d three-PE=%d\n", res.TypeCounts[0], res.TypeCounts[1], res.TypeCounts[2])
 	}
 	printComm(res.Agg, res.PerPE)
+	if core.Algorithm(*algoName) == core.AlgoTK2D {
+		// The collective exchange blocks on receives, so the 2D completion
+		// proxy charges both directions — comparable against the 1D runs'
+		// wire column above.
+		for _, prof := range costmodel.Profiles() {
+			fmt.Printf("  t_model2d(%s): wire %v\n", prof.Name,
+				costmodel.BottleneckWire2D(res.PerPE, prof).Round(time.Microsecond))
+		}
+	}
 	if *verbose {
 		printPhases(res)
 		printActivity(res.PerPE)

@@ -21,6 +21,7 @@ const (
 	kindBcast
 	kindGather
 	kindDense
+	kindGroup
 )
 
 const kindMask = 0xffff

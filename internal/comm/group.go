@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Group is a sub-communicator over an ordered subset of ranks — the row and
+// column communicators of the 2D block grid. Its collectives are metered as
+// DATA (frames, words, raw vs encoded bytes), unlike the rank-0-rooted
+// control collectives in collectives.go: block broadcasts ARE the 2D
+// algorithm's communication volume, so they must appear in the same
+// counters the 1D queue traffic does, codec-encoded the same way.
+//
+// Frames are tagged kindGroup with the 48-bit epoch split into a caller
+// chosen 16-bit group ID and a per-group sequence number, so interleaved
+// collectives on the row and the column group (or early arrivals from the
+// next round) demultiplex through the ordinary stash, never across groups.
+// Every member must call the same sequence of collectives on a group.
+type Group struct {
+	c       *Comm
+	gid     uint64
+	members []int
+	idx     int
+	seq     uint64
+	scratch []byte // reusable encode buffer (root side)
+}
+
+// NewGroup builds a sub-communicator. members must be strictly ascending,
+// include the caller's rank, and gid — unique per group within the run —
+// must fit 16 bits.
+func (c *Comm) NewGroup(gid uint64, members []int) (*Group, error) {
+	if gid >= 1<<16 {
+		return nil, fmt.Errorf("comm: group id %d does not fit 16 bits", gid)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("comm: group needs members")
+	}
+	idx := -1
+	for i, r := range members {
+		if i > 0 && r <= members[i-1] {
+			return nil, fmt.Errorf("comm: group members not strictly ascending at %d", i)
+		}
+		if r < 0 || r >= c.Size() {
+			return nil, fmt.Errorf("comm: group member %d outside communicator of size %d", r, c.Size())
+		}
+		if r == c.Rank() {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("comm: rank %d is not a member of group %d", c.Rank(), gid)
+	}
+	return &Group{c: c, gid: gid, members: members, idx: idx}, nil
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Index returns the caller's position within the member list.
+func (g *Group) Index() int { return g.idx }
+
+// nextTag advances the group's collective sequence.
+func (g *Group) nextTag() uint64 {
+	t := tag(kindGroup, g.gid<<32|g.seq&0xffffffff)
+	g.seq++
+	return t
+}
+
+// memberIndex maps a global rank to its position in the member list.
+func (g *Group) memberIndex(rank int) int {
+	for i, r := range g.members {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("comm: rank %d is not a member of group %d", rank, g.gid))
+}
+
+// Bcast broadcasts words from the member at index root to every member.
+// The root passes its payload (returned unchanged); other members pass the
+// payload nil and a reuse buffer whose capacity receives the decoded words
+// — the steady-state receive path allocates nothing once buf has grown to
+// the working-set size. The payload crosses the wire codec-encoded and is
+// metered as data traffic.
+func (g *Group) Bcast(root int, words []uint64, codec Codec, buf []uint64) []uint64 {
+	t := g.nextTag()
+	if g.Size() == 1 {
+		return words
+	}
+	if g.idx == root {
+		g.scratch = codec.AppendEncoded(g.scratch[:0], words)
+		rawWords := 1 + len(words)
+		for i, dst := range g.members {
+			if i == root {
+				continue
+			}
+			frame := transport.GetBuf(8 + len(g.scratch))
+			frame = binary.LittleEndian.AppendUint64(frame, t)
+			frame = append(frame, g.scratch...)
+			g.c.M.PayloadWords += int64(len(words))
+			if err := g.c.sendDataBytes(dst, frame, rawWords); err != nil {
+				panic(fmt.Sprintf("comm: group bcast to %d: %v", dst, err))
+			}
+		}
+		return words
+	}
+	f := g.c.waitTag(t)
+	out, err := codec.AppendDecoded(buf[:0], f.Bytes[8:])
+	if err != nil {
+		panic(fmt.Sprintf("comm: group bcast decode: %v", err))
+	}
+	g.c.M.RecvFrames++
+	g.c.M.RecvWords += int64(1 + len(out))
+	g.c.M.RecvEncodedBytes += int64(len(f.Bytes))
+	transport.PutBuf(f.Bytes)
+	return out
+}
+
+// Allgather contributes words from every member and returns one slice per
+// member, indexed by member position (the caller's own entry is a copy).
+// Like Bcast the traffic is codec-encoded data.
+func (g *Group) Allgather(words []uint64, codec Codec) [][]uint64 {
+	t := g.nextTag()
+	out := make([][]uint64, g.Size())
+	out[g.idx] = append([]uint64(nil), words...)
+	if g.Size() == 1 {
+		return out
+	}
+	g.scratch = codec.AppendEncoded(g.scratch[:0], words)
+	rawWords := 1 + len(words)
+	for i, dst := range g.members {
+		if i == g.idx {
+			continue
+		}
+		frame := transport.GetBuf(8 + len(g.scratch))
+		frame = binary.LittleEndian.AppendUint64(frame, t)
+		frame = append(frame, g.scratch...)
+		g.c.M.PayloadWords += int64(len(words))
+		if err := g.c.sendDataBytes(dst, frame, rawWords); err != nil {
+			panic(fmt.Sprintf("comm: group allgather to %d: %v", dst, err))
+		}
+	}
+	for got := 1; got < g.Size(); got++ {
+		f := g.c.wait(func(x uint64) bool { return x == t })
+		src := g.memberIndex(f.Src)
+		dec, err := codec.AppendDecoded(nil, f.Bytes[8:])
+		if err != nil {
+			panic(fmt.Sprintf("comm: group allgather decode: %v", err))
+		}
+		g.c.M.RecvFrames++
+		g.c.M.RecvWords += int64(1 + len(dec))
+		g.c.M.RecvEncodedBytes += int64(len(f.Bytes))
+		transport.PutBuf(f.Bytes)
+		out[src] = dec
+	}
+	return out
+}

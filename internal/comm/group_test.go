@@ -1,0 +1,278 @@
+package comm
+
+import (
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestGroupValidation(t *testing.T) {
+	runComms(t, 4, func(rank int, c *Comm) {
+		if _, err := c.NewGroup(1<<16, []int{0, 1, 2, 3}); err == nil {
+			t.Error("want error for oversized gid")
+		}
+		if _, err := c.NewGroup(0, nil); err == nil {
+			t.Error("want error for empty member list")
+		}
+		if _, err := c.NewGroup(0, []int{0, 2, 1, 3}); err == nil {
+			t.Error("want error for unsorted members")
+		}
+		if _, err := c.NewGroup(0, []int{0, 1, 2, 9}); err == nil {
+			t.Error("want error for out-of-range member")
+		}
+		others := []int{(rank + 1) % 4, (rank + 2) % 4}
+		slices.Sort(others)
+		if _, err := c.NewGroup(0, others); err == nil {
+			t.Error("want error when the caller is not a member")
+		}
+		g, err := c.NewGroup(7, []int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatalf("valid group rejected: %v", err)
+		}
+		if g.Size() != 4 || g.Index() != rank {
+			t.Errorf("size=%d index=%d, want 4/%d", g.Size(), g.Index(), rank)
+		}
+	})
+}
+
+// TestGroupBcast: every root in turn, over a strict subset of the ranks, for
+// both codecs; non-members stay silent.
+func TestGroupBcast(t *testing.T) {
+	const p = 5
+	members := []int{0, 2, 4} // strict subset: ranks 1 and 3 sit out
+	for _, codec := range []Codec{Raw, Varint} {
+		results := make([][][]uint64, p)
+		runComms(t, p, func(rank int, c *Comm) {
+			if !slices.Contains(members, rank) {
+				return
+			}
+			g, err := c.NewGroup(3, members)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[rank] = make([][]uint64, g.Size())
+			var buf []uint64
+			for root := 0; root < g.Size(); root++ {
+				payload := []uint64{uint64(root) * 100, 7, uint64(root)}
+				if g.Index() == root {
+					results[rank][root] = slices.Clone(g.Bcast(root, payload, codec, nil))
+				} else {
+					buf = g.Bcast(root, nil, codec, buf)
+					results[rank][root] = slices.Clone(buf)
+				}
+			}
+		})
+		for _, rank := range members {
+			for root := 0; root < len(members); root++ {
+				want := []uint64{uint64(root) * 100, 7, uint64(root)}
+				if !slices.Equal(results[rank][root], want) {
+					t.Fatalf("rank %d root %d: got %v, want %v", rank, root, results[rank][root], want)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupBcastMeteredAsData: the root's traffic lands in the data
+// counters (frames, payload, encoded bytes) and the receivers charge
+// RecvEncodedBytes — the fields the 2D wire-volume lens reads.
+func TestGroupBcastMeteredAsData(t *testing.T) {
+	const p = 3
+	var ms [p]Metrics
+	runComms(t, p, func(rank int, c *Comm) {
+		g, err := c.NewGroup(0, []int{0, 1, 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g.Bcast(0, []uint64{1, 2, 3, 4}, Varint, nil)
+		ms[rank] = c.M
+	})
+	root := ms[0]
+	if root.SentFrames != 2 || root.PayloadWords != 8 || root.EncodedBytes == 0 {
+		t.Fatalf("root metrics: %+v", root)
+	}
+	if root.SentWords != 2*(1+4) {
+		t.Fatalf("root raw words %d, want %d", root.SentWords, 2*(1+4))
+	}
+	for rank := 1; rank < p; rank++ {
+		m := ms[rank]
+		if m.RecvFrames != 1 || m.RecvWords != 1+4 || m.RecvEncodedBytes == 0 {
+			t.Fatalf("rank %d metrics: %+v", rank, m)
+		}
+		if m.RecvEncodedBytes != root.EncodedBytes/2 {
+			t.Fatalf("rank %d recv encoded %d, root sent %d per dst", rank, m.RecvEncodedBytes, root.EncodedBytes/2)
+		}
+	}
+}
+
+func TestGroupAllgather(t *testing.T) {
+	const p = 4
+	results := make([][][]uint64, p)
+	runComms(t, p, func(rank int, c *Comm) {
+		g, err := c.NewGroup(9, []int{0, 1, 2, 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results[rank] = g.Allgather([]uint64{uint64(rank), uint64(rank * rank)}, Varint)
+	})
+	for rank := 0; rank < p; rank++ {
+		for src := 0; src < p; src++ {
+			want := []uint64{uint64(src), uint64(src * src)}
+			if !slices.Equal(results[rank][src], want) {
+				t.Fatalf("rank %d from %d: %v, want %v", rank, src, results[rank][src], want)
+			}
+		}
+	}
+}
+
+// TestGroupRowColInterleaved runs the tk2d communication pattern on a 2×2
+// grid: every PE is in one row group and one column group, and the two
+// broadcast streams interleave without stealing each other's frames (the
+// demultiplexing the 16-bit group ID in the tag exists for).
+func TestGroupRowColInterleaved(t *testing.T) {
+	const q = 2
+	const p = q * q
+	const rounds = 3
+	type got struct{ row, col [rounds][]uint64 }
+	results := make([]got, p)
+	runComms(t, p, func(rank int, c *Comm) {
+		r, cc := rank/q, rank%q
+		rowGrp, err := c.NewGroup(uint64(r), []int{r * q, r*q + 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		colGrp, err := c.NewGroup(uint64(q+cc), []int{cc, q + cc})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for k := 0; k < rounds; k++ {
+			root := k % q
+			rowPay := []uint64{uint64(1000*r + 10*k)}
+			colPay := []uint64{uint64(5000*cc + 10*k)}
+			var rw, cw []uint64
+			if rowGrp.Index() == root {
+				rw = rowGrp.Bcast(root, rowPay, Varint, nil)
+			} else {
+				rw = rowGrp.Bcast(root, nil, Varint, nil)
+			}
+			if colGrp.Index() == root {
+				cw = colGrp.Bcast(root, colPay, Varint, nil)
+			} else {
+				cw = colGrp.Bcast(root, nil, Varint, nil)
+			}
+			results[rank].row[k] = slices.Clone(rw)
+			results[rank].col[k] = slices.Clone(cw)
+		}
+	})
+	for rank := 0; rank < p; rank++ {
+		r, cc := rank/q, rank%q
+		for k := 0; k < rounds; k++ {
+			// Every member of row group r carries grid row r, and every member
+			// of column group cc carries column cc, so the expected payloads
+			// depend only on the group — any cross-group frame theft would
+			// surface as the other stream's value.
+			wantRow := []uint64{uint64(1000*r + 10*k)}
+			wantCol := []uint64{uint64(5000*cc + 10*k)}
+			if !slices.Equal(results[rank].row[k], wantRow) {
+				t.Fatalf("rank %d round %d row: %v, want %v", rank, k, results[rank].row[k], wantRow)
+			}
+			if !slices.Equal(results[rank].col[k], wantCol) {
+				t.Fatalf("rank %d round %d col: %v, want %v", rank, k, results[rank].col[k], wantCol)
+			}
+		}
+	}
+}
+
+func TestGroupSize1(t *testing.T) {
+	runComms(t, 1, func(rank int, c *Comm) {
+		g, err := c.NewGroup(0, []int{0})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		words := []uint64{4, 5, 6}
+		if got := g.Bcast(0, words, Varint, nil); !slices.Equal(got, words) {
+			t.Errorf("size-1 bcast: %v", got)
+		}
+		all := g.Allgather(words, Varint)
+		if len(all) != 1 || !slices.Equal(all[0], words) {
+			t.Errorf("size-1 allgather: %v", all)
+		}
+		if c.M.SentFrames != 0 {
+			t.Errorf("size-1 group communicated: %+v", c.M)
+		}
+	})
+}
+
+// BenchmarkGroupBcastSteadyState is the allocation gate for the collective
+// exchange: one op is a root→member block broadcast plus a member→root ack
+// broadcast on the same group (the lock-step keeps the inbox bounded). After
+// warmup grows the root's encode scratch, the member's decode buffer, and
+// the frame pool, both sides must run at 0 allocs/op.
+func BenchmarkGroupBcastSteadyState(b *testing.B) {
+	net := transport.NewChanNetwork(2)
+	defer net.Close()
+	eps := make([]transport.Endpoint, 2)
+	for rank := range eps {
+		ep, err := net.Endpoint(rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eps[rank] = ep
+	}
+	const stopWord = ^uint64(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := New(eps[1])
+		g, err := c.NewGroup(1, []int{0, 1})
+		if err != nil {
+			panic(err)
+		}
+		var buf []uint64
+		ack := []uint64{1}
+		for {
+			buf = g.Bcast(0, nil, Varint, buf)
+			done := len(buf) > 0 && buf[0] == stopWord
+			g.Bcast(1, ack, Varint, nil)
+			if done {
+				return
+			}
+		}
+	}()
+	c := New(eps[0])
+	g, err := c.NewGroup(1, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A block-shaped payload: row records with gap-differenced entries, the
+	// wire form AppendWire produces.
+	payload := make([]uint64, 512)
+	for i := range payload {
+		payload[i] = uint64(i%37) + 1
+	}
+	var ackBuf []uint64
+	round := func(words []uint64) {
+		g.Bcast(0, words, Varint, nil)
+		ackBuf = g.Bcast(1, nil, Varint, ackBuf)
+	}
+	for i := 0; i < 16; i++ {
+		round(payload) // warmup: grow scratch, decode buffer, frame pool
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round(payload)
+	}
+	b.StopTimer()
+	round([]uint64{stopWord})
+	wg.Wait()
+}

@@ -21,10 +21,16 @@ type Metrics struct {
 	EncodedBytes int64 // data frame bytes as shipped on the wire (after codec)
 	RecvFrames   int64
 	RecvWords    int64
-	Flushes      int64 // buffer flush events
-	PeakBuffered int64 // max words ever buffered at once (queue memory)
-	ControlSent  int64 // control frames (probes, collective traffic)
-	Peers        int64 // distinct data-frame destinations (O(√p) under grid routing)
+	// RecvEncodedBytes is the wire size of data frames received (the receive
+	// side of EncodedBytes). In the asynchronous 1D queue receives overlap
+	// with compute and only the send side models time; in the 2D collective
+	// exchange a PE blocks on its receives, so the cost model's 2D lens
+	// (costmodel.TimeWire2D) charges both directions.
+	RecvEncodedBytes int64
+	Flushes          int64 // buffer flush events
+	PeakBuffered     int64 // max words ever buffered at once (queue memory)
+	ControlSent      int64 // control frames (probes, collective traffic)
+	Peers            int64 // distinct data-frame destinations (O(√p) under grid routing)
 
 	// IdleNs is the time (ns) this PE spent waiting inside Drain/DrainWith
 	// with no frame to process and no progress work to steal — the
@@ -51,6 +57,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.EncodedBytes += other.EncodedBytes
 	m.RecvFrames += other.RecvFrames
 	m.RecvWords += other.RecvWords
+	m.RecvEncodedBytes += other.RecvEncodedBytes
 	m.Flushes += other.Flushes
 	m.ControlSent += other.ControlSent
 	m.IdleNs += other.IdleNs
@@ -67,19 +74,20 @@ func (m *Metrics) Add(other Metrics) {
 // value. Used for per-phase accounting.
 func (m Metrics) Sub(start Metrics) Metrics {
 	return Metrics{
-		SentFrames:   m.SentFrames - start.SentFrames,
-		SentWords:    m.SentWords - start.SentWords,
-		PayloadWords: m.PayloadWords - start.PayloadWords,
-		RawBytes:     m.RawBytes - start.RawBytes,
-		EncodedBytes: m.EncodedBytes - start.EncodedBytes,
-		RecvFrames:   m.RecvFrames - start.RecvFrames,
-		RecvWords:    m.RecvWords - start.RecvWords,
-		Flushes:      m.Flushes - start.Flushes,
-		PeakBuffered: m.PeakBuffered,
-		ControlSent:  m.ControlSent - start.ControlSent,
-		Peers:        m.Peers,
-		IdleNs:       m.IdleNs - start.IdleNs,
-		OverlapNs:    m.OverlapNs - start.OverlapNs,
+		SentFrames:       m.SentFrames - start.SentFrames,
+		SentWords:        m.SentWords - start.SentWords,
+		PayloadWords:     m.PayloadWords - start.PayloadWords,
+		RawBytes:         m.RawBytes - start.RawBytes,
+		EncodedBytes:     m.EncodedBytes - start.EncodedBytes,
+		RecvFrames:       m.RecvFrames - start.RecvFrames,
+		RecvWords:        m.RecvWords - start.RecvWords,
+		RecvEncodedBytes: m.RecvEncodedBytes - start.RecvEncodedBytes,
+		Flushes:          m.Flushes - start.Flushes,
+		PeakBuffered:     m.PeakBuffered,
+		ControlSent:      m.ControlSent - start.ControlSent,
+		Peers:            m.Peers,
+		IdleNs:           m.IdleNs - start.IdleNs,
+		OverlapNs:        m.OverlapNs - start.OverlapNs,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/costmodel"
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/part"
@@ -19,6 +20,16 @@ func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.P <= 0 {
 		return nil, fmt.Errorf("core: config needs P > 0")
+	}
+	if cfg.Profile != "" {
+		if _, err := costmodel.ByName(cfg.Profile); err != nil {
+			return nil, err
+		}
+	}
+	if algo == AlgoTK2D {
+		// The 2D geometry has its own scatter and partition math; it shares
+		// the outcome merge and phase accounting with the 1D path.
+		return runTK2D(g, cfg)
 	}
 	pt := cfg.Partition
 	if pt == nil {
@@ -89,6 +100,9 @@ func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
 func RunRank(algo Algorithm, g *graph.Graph, cfg Config, ep transport.Endpoint) (uint64, comm.Metrics, error) {
 	cfg = cfg.withDefaults()
 	cfg.P = ep.Size()
+	if algo == AlgoTK2D {
+		return runRankTK2D(g, cfg, ep)
+	}
 	pt := cfg.Partition
 	if pt == nil {
 		pt = part.Uniform(uint64(g.NumVertices()), cfg.P)

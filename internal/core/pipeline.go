@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/part"
@@ -41,14 +42,29 @@ import (
 const overlapFlushWords = 1 << 10
 
 // overlapWatermark resolves the eager-flush watermark for aggregation
-// threshold δ: overlapFlushWords clamped to δ/2. DefaultThreshold floors δ
+// threshold δ: min(profileWatermark, δ/2). The profile watermark is the
+// configured costmodel profile's α/β break-even frame size
+// (Profile.FlushWatermark) — frames below it cost more in startup latency
+// than overlapping can hide, which is why the old fixed 1024-word constant
+// lost to the barriered path on high-α (cloud/WAN) parameterizations: it
+// sliced shipments into frames an order of magnitude below those profiles'
+// break-even. With no profile configured the historical constant stands
+// (it is within a factor of two of the supercomputer profile's break-even,
+// the machine the paper measured on).
+//
+// The δ/2 clamp is load-bearing on both paths: DefaultThreshold floors δ
 // at 1024 — exactly overlapFlushWords — so on tiny graphs (and explicit
-// small -delta values) the raw constant would sit at or above δ, and eager
-// flushing would silently never fire before the overflow flush. Clamping to
-// half of δ keeps the watermark strictly below the overflow boundary for
-// every δ > 1.
-func overlapWatermark(threshold int) int {
+// small -delta values) an unclamped watermark would sit at or above δ, and
+// eager flushing would silently never fire before the overflow flush.
+// Clamping to half of δ keeps the watermark strictly below the overflow
+// boundary for every δ > 1.
+func overlapWatermark(threshold int, profile string) int {
 	wm := overlapFlushWords
+	if profile != "" {
+		if p, err := costmodel.ByName(profile); err == nil {
+			wm = p.FlushWatermark()
+		}
+	}
 	if half := threshold / 2; half < wm {
 		wm = half
 	}
@@ -248,7 +264,7 @@ func newOverlapPipeline(pe *dist.PE, sw *stopwatch, lg *graph.LocalGraph, cfg Co
 	op := &overlapPipeline{
 		pe: pe, sw: sw, state: state, dq: newStealDeque(), fn: fn,
 		threads:    cfg.Threads,
-		flushWords: overlapWatermark(pe.Q.Threshold()),
+		flushWords: overlapWatermark(pe.Q.Threshold(), cfg.Profile),
 		fscratch:   make([]recvRecord, dequeBatch),
 	}
 	if cfg.Threads > 1 {

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/part"
+	"repro/internal/testgraph"
+)
+
+// TestTK2DEquivalence pins TK2D to the sequential oracle on every fixture
+// across the full p × Threads grid of square PE counts.
+func TestTK2DEquivalence(t *testing.T) {
+	for _, tg := range testgraph.All {
+		for _, p := range []int{1, 4, 9, 16} {
+			for _, threads := range []int{1, 4} {
+				res, err := Run(AlgoTK2D, tg.Build(), Config{P: p, Threads: threads})
+				if err != nil {
+					t.Fatalf("%s p=%d threads=%d: %v", tg.Name, p, threads, err)
+				}
+				if res.Count != tg.Triangles {
+					t.Errorf("%s p=%d threads=%d: count %d, want %d",
+						tg.Name, p, threads, res.Count, tg.Triangles)
+				}
+			}
+		}
+	}
+}
+
+// TestTK2DMatches1DCounters cross-validates the two geometries directly:
+// identical counts from TK2D, DITRIC, and CETRIC on every fixture.
+func TestTK2DMatches1DCounters(t *testing.T) {
+	for _, tg := range testgraph.All {
+		tk, err := Run(AlgoTK2D, tg.Build(), Config{P: 9, Threads: 2})
+		if err != nil {
+			t.Fatalf("%s tk2d: %v", tg.Name, err)
+		}
+		for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+			res, err := Run(algo, tg.Build(), Config{P: 9, Threads: 2})
+			if err != nil {
+				t.Fatalf("%s %s: %v", tg.Name, algo, err)
+			}
+			if res.Count != tk.Count {
+				t.Errorf("%s: tk2d=%d %s=%d", tg.Name, tk.Count, algo, res.Count)
+			}
+		}
+	}
+}
+
+// TestTK2DHubKernels drives the block hub-bitmap path explicitly: a
+// threshold of 1 turns every non-empty row into a hub (all intersections go
+// through CountAnd/CountList), and a negative threshold disables bitmaps
+// entirely (all merge/gallop). Counts must not move.
+func TestTK2DHubKernels(t *testing.T) {
+	for _, tg := range testgraph.All {
+		for _, hub := range []int{-1, 1} {
+			res, err := Run(AlgoTK2D, tg.Build(), Config{P: 4, HubThreshold: hub})
+			if err != nil {
+				t.Fatalf("%s hub=%d: %v", tg.Name, hub, err)
+			}
+			if res.Count != tg.Triangles {
+				t.Errorf("%s hub=%d: count %d, want %d", tg.Name, hub, res.Count, tg.Triangles)
+			}
+		}
+	}
+}
+
+// TestTK2DCollect checks the collected triangle set equals the oracle's.
+func TestTK2DCollect(t *testing.T) {
+	tg, ok := testgraph.ByName("cliques")
+	if !ok {
+		t.Fatal("cliques fixture missing")
+	}
+	fix := tg.Build()
+	res, err := Run(AlgoTK2D, fix, Config{P: 4, Collect: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(AlgoDiTric, fix, Config{P: 4, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(tris [][3]uint64) [][3]uint64 {
+		out := slices.Clone(tris)
+		slices.SortFunc(out, func(a, b [3]uint64) int {
+			for i := range a {
+				if a[i] != b[i] {
+					return int(int64(a[i]) - int64(b[i]))
+				}
+			}
+			return 0
+		})
+		return out
+	}
+	got, exp := norm(res.Triangles), norm(want.Triangles)
+	if !slices.Equal(got, exp) {
+		t.Fatalf("triangle sets differ: got %d, want %d", len(got), len(exp))
+	}
+}
+
+// TestTK2DConfigValidation pins the rejected configurations: non-square P,
+// LCC, and 1D partition overrides.
+func TestTK2DConfigValidation(t *testing.T) {
+	g := gen.Complete(10)
+	for _, p := range []int{2, 3, 5, 8, 12} {
+		if _, err := Run(AlgoTK2D, g, Config{P: p}); err == nil {
+			t.Errorf("p=%d: want error for non-square PE count", p)
+		}
+	}
+	if _, err := Run(AlgoTK2D, g, Config{P: 4, LCC: true}); err == nil {
+		t.Error("want error for LCC under tk2d")
+	}
+	if _, err := Run(AlgoTK2D, g, Config{P: 4, Partition: part.Uniform(10, 4)}); err == nil {
+		t.Error("want error for 1D partition override under tk2d")
+	}
+	if _, err := Run(AlgoTK2D, g, Config{P: 4, Codec: "nope"}); err == nil {
+		t.Error("want error for unknown codec policy")
+	}
+}
+
+// TestTK2DExchangeFoldsIntoGlobal pins the stopwatch attribution the 2D
+// body relies on: the collective exchange reports under global/exchange AND
+// folds into the parent global phase — wall time and communication both —
+// so cmd/tricount -v shows 1D and 2D runs under the same top-level keys.
+func TestTK2DExchangeFoldsIntoGlobal(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 41))
+	res, err := Run(AlgoTK2D, g, Config{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := res.Phases[PhaseGlobalExchange]
+	if !ok || sub <= 0 {
+		t.Fatalf("global/exchange phase missing or empty: %v", res.Phases)
+	}
+	if parent := res.Phases[PhaseGlobal]; parent < sub {
+		t.Fatalf("global (%v) does not cover its exchange sub-phase (%v)", parent, sub)
+	}
+	if res.PhaseComm[PhaseGlobalExchange].TotalEncodedBytes == 0 {
+		t.Fatal("exchange sub-phase carries no traffic")
+	}
+	if res.PhaseComm[PhaseGlobal].TotalEncodedBytes < res.PhaseComm[PhaseGlobalExchange].TotalEncodedBytes {
+		t.Fatal("exchange traffic did not fold into the global phase")
+	}
+	// The counting side of a round must stay communication-free.
+	if res.PhaseComm[PhaseLocal].TotalPayload != 0 {
+		t.Fatalf("tk2d local counting shipped %d payload words",
+			res.PhaseComm[PhaseLocal].TotalPayload)
+	}
+}
+
+// TestTK2DSinglePEHasNoCommunication: the 1×1 grid runs entirely locally.
+func TestTK2DSinglePEHasNoCommunication(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 97))
+	res, err := Run(AlgoTK2D, g, Config{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.TotalPayload != 0 || res.Agg.TotalFrames != 0 {
+		t.Fatalf("tk2d at p=1 communicated: %+v", res.Agg)
+	}
+	if res.Count == 0 {
+		t.Fatal("no triangles counted")
+	}
+}

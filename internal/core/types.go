@@ -29,6 +29,11 @@ const (
 	AlgoTriC    Algorithm = "tric"
 	AlgoHavoq   Algorithm = "havoq"
 	AlgoNoAgg   Algorithm = "noagg"
+	// AlgoTK2D is the 2D grid-partitioned counter à la Tom & Karypis: the
+	// oriented adjacency matrix is cut into a √p×√p block grid and counting
+	// proceeds in √p broadcast rounds along grid rows and columns instead of
+	// 1D cut-neighborhood shipping. Requires a square P.
+	AlgoTK2D Algorithm = "tk2d"
 )
 
 // Algorithms lists all distributed algorithms in the order used by the
@@ -72,6 +77,12 @@ const (
 const (
 	PhaseGlobalRecv  = PhaseGlobal + "/recv"
 	PhaseOverlapIdle = PhaseOverlap + "/idle"
+	// PhaseGlobalExchange is TK2D's per-round block broadcast time. Keyed
+	// under global/ so the stopwatch's parent-folding lands it in
+	// PhaseGlobal, keeping the 1D and 2D phase reports comparable: in both
+	// geometries "global" is the communication-driven counting phase, with
+	// the sub-key showing how much of it the collective exchange takes.
+	PhaseGlobalExchange = PhaseGlobal + "/exchange"
 )
 
 // Streaming phases (RunStream). PhaseIngest covers folding the initial
@@ -121,6 +132,13 @@ type Config struct {
 	// everywhere. See codec.go for the per-channel rationale. The choice
 	// never changes any count — only Metrics.EncodedBytes.
 	Codec string
+
+	// Profile names a costmodel network profile ("supercomputer", "cloud",
+	// "wan"; empty for none). When set, the overlapped pipeline derives its
+	// eager-flush watermark from the profile's α/β break-even frame size
+	// instead of the fixed default, so high-latency parameterizations flush
+	// in frames large enough to be worth their α. Never changes any count.
+	Profile string
 
 	// Partition overrides the default uniform 1D partition.
 	Partition *part.Partition

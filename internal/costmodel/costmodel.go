@@ -7,6 +7,7 @@
 package costmodel
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/comm"
@@ -33,6 +34,31 @@ var (
 
 // Profiles lists the built-in profiles.
 func Profiles() []Profile { return []Profile{Supercomputer, Cloud, WAN} }
+
+// ByName resolves a built-in profile by its Name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("costmodel: unknown profile %q (want supercomputer, cloud, or wan)", name)
+}
+
+// FlushWatermark returns the profile's break-even frame size in words: the
+// payload at which a frame's βℓ transfer time equals its α startup —
+// ⌈α/β⌉. Frames below it are latency-dominated; an eager-flush policy that
+// emits smaller frames pays more in added startups than it can hide by
+// overlapping. The overlapped pipeline derives its flush watermark from
+// this instead of a fixed constant when a profile is configured, which is
+// what makes it competitive on high-α (cloud/WAN) parameterizations.
+func (p Profile) FlushWatermark() int {
+	if p.Beta <= 0 || p.Alpha <= 0 {
+		return 1
+	}
+	w := int(p.Alpha/p.Beta + 0.999999)
+	return max(w, 1)
+}
 
 // Time returns the modeled communication time of one PE's traffic:
 // α·messages + β·words. Words are the pre-encoding volume, so this is the
@@ -69,6 +95,35 @@ func BottleneckWire(per []comm.Metrics, p Profile) time.Duration {
 	var worst time.Duration
 	for _, m := range per {
 		if t := p.TimeWire(m); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// TimeWire2D is the wire-byte lens for the 2D collective exchange. The 1D
+// queue is asynchronous — receives overlap with compute, so TimeWire
+// charges only the send side. A PE of the block-collective schedule instead
+// blocks on every broadcast it participates in: each counting round's A-
+// and B-blocks must be fully received before its wedges can close, so both
+// directions sit on the critical path. The modeled time is therefore
+// α·(sent + received frames) + (β/8)·(sent + received encoded bytes),
+// using the same α+β parameters as the 1D lenses so the two geometries are
+// directly comparable.
+func (p Profile) TimeWire2D(m comm.Metrics) time.Duration {
+	s := p.Alpha*float64(m.SentFrames+m.RecvFrames) +
+		p.Beta/8*float64(m.EncodedBytes+m.RecvEncodedBytes)
+	return time.Duration(s * float64(time.Second))
+}
+
+// BottleneckWire2D is the completion-time proxy of the collective exchange:
+// the maximum TimeWire2D over PEs. Comparing it against BottleneckWire of a
+// 1D run on the same graph and profile locates the crossover p beyond
+// which O(√p)-collective volume beats cut-neighborhood shipping.
+func BottleneckWire2D(per []comm.Metrics, p Profile) time.Duration {
+	var worst time.Duration
+	for _, m := range per {
+		if t := p.TimeWire2D(m); t > worst {
 			worst = t
 		}
 	}

@@ -75,6 +75,73 @@ func TestBottleneckOverlappedPicksWorstPE(t *testing.T) {
 	}
 }
 
+func TestByName(t *testing.T) {
+	for _, want := range Profiles() {
+		got, err := ByName(want.Name)
+		if err != nil || got != want {
+			t.Fatalf("ByName(%q) = %+v, %v", want.Name, got, err)
+		}
+	}
+	if _, err := ByName("dialup"); err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("want error for empty profile name")
+	}
+}
+
+// TestFlushWatermark pins the break-even frame size ⌈α/β⌉ of every built-in
+// profile — the values the overlapped pipeline derives its eager-flush
+// watermark from (core.overlapWatermark's table test covers the δ clamp).
+func TestFlushWatermark(t *testing.T) {
+	for _, tc := range []struct {
+		p    Profile
+		want int
+	}{
+		{Supercomputer, 1563}, // 1µs / (64B/100Gbit) = 1562.5, rounded up
+		{Cloud, 7813},         // 50µs / (64B/10Gbit) = 7812.5
+		{WAN, 31250},          // 2ms / (64B/1Gbit) = 31250 exactly
+		{Profile{Alpha: 0, Beta: 1}, 1},
+		{Profile{Alpha: 1, Beta: 0}, 1},
+		{Profile{Alpha: 1e-9, Beta: 1}, 1}, // sub-word break-even floors at 1
+	} {
+		if got := tc.p.FlushWatermark(); got != tc.want {
+			t.Errorf("%s: FlushWatermark = %d, want %d", tc.p.Name, got, tc.want)
+		}
+	}
+}
+
+// TestTimeWire2DChargesBothDirections: the 2D lens adds receive frames and
+// bytes on top of TimeWire's send side, so a PE that only receives still
+// shows modeled cost, and a send-only PE matches the 1D wire lens exactly.
+func TestTimeWire2DChargesBothDirections(t *testing.T) {
+	p := Profile{Alpha: 1e-3, Beta: 8e-6} // β/8 = 1µs per byte
+	sendOnly := comm.Metrics{SentFrames: 4, EncodedBytes: 1000}
+	if got, want := p.TimeWire2D(sendOnly), p.TimeWire(sendOnly); got != want {
+		t.Fatalf("send-only: TimeWire2D %v != TimeWire %v", got, want)
+	}
+	recvOnly := comm.Metrics{RecvFrames: 4, RecvEncodedBytes: 1000}
+	if got := p.TimeWire2D(recvOnly); got != p.TimeWire(sendOnly) {
+		t.Fatalf("recv-only: %v, want the symmetric %v", got, p.TimeWire(sendOnly))
+	}
+	both := comm.Metrics{SentFrames: 4, EncodedBytes: 1000, RecvFrames: 4, RecvEncodedBytes: 1000}
+	if got := p.TimeWire2D(both); got != 2*p.TimeWire(sendOnly) {
+		t.Fatalf("both directions: %v, want %v", got, 2*p.TimeWire(sendOnly))
+	}
+}
+
+func TestBottleneckWire2DPicksWorstPE(t *testing.T) {
+	p := Profile{Alpha: 1, Beta: 0}
+	per := []comm.Metrics{
+		{SentFrames: 1, RecvFrames: 1},
+		{SentFrames: 2, RecvFrames: 4}, // worst: 6 blocking frames
+		{SentFrames: 3},
+	}
+	if got := BottleneckWire2D(per, p); got != 6*time.Second {
+		t.Fatalf("BottleneckWire2D = %v, want 6s", got)
+	}
+}
+
 func TestProfilesDistinct(t *testing.T) {
 	ps := Profiles()
 	if len(ps) != 3 {

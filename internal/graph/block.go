@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/part"
+)
+
+// 2D block views of the oriented adjacency matrix. ScatterEdges2D deals the
+// edge list into the q×q block grid of part.Grid2D (one slice per owning
+// PE), and Block is the per-PE CSR over band-relative indices that the TK2D
+// counting rounds broadcast and intersect. Entries are band-relative
+// (rel(v) = v div q), which keeps the wire varints and the hub-bitmap
+// domains q× denser than global IDs.
+
+// ScatterEdges2D deals edges into the block grid: each non-loop edge {u,v}
+// is canon-oriented (U < V) and lands in exactly one slice, its block
+// owner's. Self-loops are dropped (they belong to no block). Two-pass
+// counting layout like ScatterEdgesPar: per-worker owner histograms, prefix
+// sums, direct placement; the output is byte-identical for every thread
+// count.
+func ScatterEdges2D(g2 *part.Grid2D, edges []Edge, threads int) [][]Edge {
+	p := g2.P()
+	out := make([][]Edge, p)
+	if len(edges) == 0 {
+		return out
+	}
+	w := workersFor(threads, len(edges), parallelChunk)
+	owners := make([]int32, len(edges))
+	cnt := make([]int64, w*p)
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		c := cnt[worker*p : (worker+1)*p]
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				owners[i] = -1
+				continue
+			}
+			o := int32(g2.Owner(e.U, e.V))
+			owners[i] = o
+			c[o]++
+		}
+	})
+	pos := make([]int64, w*p)
+	for pe := 0; pe < p; pe++ {
+		total := int64(0)
+		for worker := 0; worker < w; worker++ {
+			pos[worker*p+pe] = total
+			total += cnt[worker*p+pe]
+		}
+		if total > 0 {
+			out[pe] = make([]Edge, total)
+		}
+	}
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		cur := pos[worker*p : (worker+1)*p]
+		for i := lo; i < hi; i++ {
+			o := owners[i]
+			if o < 0 {
+				continue
+			}
+			out[o][cur[o]] = edges[i].Canon()
+			cur[o]++
+		}
+	})
+	return out
+}
+
+// ScatterEdges2DRank keeps only the edges owned by one block — what each
+// process of a multi-process cluster runs so no process materializes all p
+// slices.
+func ScatterEdges2DRank(g2 *part.Grid2D, edges []Edge, rank, threads int) []Edge {
+	w := workersFor(threads, len(edges), parallelChunk)
+	cnt := make([]int64, w)
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		n := int64(0)
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U != e.V && g2.Owner(e.U, e.V) == rank {
+				n++
+			}
+		}
+		cnt[worker] = n
+	})
+	total := int64(0)
+	for worker := 0; worker < w; worker++ {
+		cnt[worker], total = total, total+cnt[worker]
+	}
+	out := make([]Edge, total)
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		cur := cnt[worker]
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U != e.V && g2.Owner(e.U, e.V) == rank {
+				out[cur] = e.Canon()
+				cur++
+			}
+		}
+	})
+	return out
+}
+
+// Block is one block of the oriented upper-triangular adjacency matrix in
+// CSR form: row i (relative index within band bandRow) lists the relative
+// indices, within band bandCol, of the larger endpoints v of edges (u, v)
+// with rel(u) = i — ascending, deduplicated. A transposed block (built by
+// Transpose, broadcast down grid columns) has the same shape with the roles
+// swapped: bandRow is the column band and entries index the row band.
+type Block struct {
+	g2               *part.Grid2D
+	bandRow, bandCol int
+	off              []int64  // len NRows+1
+	col              []Vertex // band-relative entries, ascending per row
+	hubs             hubIndex
+}
+
+// BuildBlock2D assembles PE rank's block from its slice of the 2D scatter.
+// Edges must be canon-oriented with bands matching the block (what
+// ScatterEdges2D delivers); duplicates are merged. The two-pass layout plus
+// per-row sort/dedup makes the result independent of the thread count.
+func BuildBlock2D(g2 *part.Grid2D, rank int, edges []Edge, threads int) *Block {
+	r, c := g2.RowCol(rank)
+	b := &Block{g2: g2, bandRow: r, bandCol: c}
+	nRows := g2.BandSize(r)
+	b.off = make([]int64, nRows+1)
+	if len(edges) == 0 {
+		return b
+	}
+	w := workersFor(threads, len(edges), parallelChunk)
+	cnt := make([]int64, w*nRows)
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		h := cnt[worker*nRows : (worker+1)*nRows]
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U >= e.V || g2.Band(e.U) != r || g2.Band(e.V) != c {
+				panic(fmt.Sprintf("graph: edge (%d,%d) does not belong to block (%d,%d)", e.U, e.V, r, c))
+			}
+			h[g2.Rel(e.U)]++
+		}
+	})
+	pos := make([]int64, w*nRows)
+	total := int64(0)
+	for row := 0; row < nRows; row++ {
+		for worker := 0; worker < w; worker++ {
+			pos[worker*nRows+row] = total
+			total += cnt[worker*nRows+row]
+		}
+		b.off[row+1] = total
+	}
+	b.col = make([]Vertex, total)
+	parallelBlocks(w, len(edges), func(worker, lo, hi int) {
+		cur := pos[worker*nRows : (worker+1)*nRows]
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			row := g2.Rel(e.U)
+			b.col[cur[row]] = g2.Rel(e.V)
+			cur[row]++
+		}
+	})
+	// Sort and dedup each row, recording the surviving length.
+	kept := make([]int64, nRows)
+	ParallelFor(threads, nRows, func(_, lo, hi int) {
+		for row := lo; row < hi; row++ {
+			seg := b.col[b.off[row]:b.off[row+1]]
+			slices.Sort(seg)
+			kept[row] = int64(len(slices.Compact(seg)))
+		}
+	})
+	// Compact the deduplicated rows (sequential: rows move down in order).
+	wpos := int64(0)
+	for row := 0; row < nRows; row++ {
+		start := b.off[row]
+		b.off[row] = wpos
+		wpos += int64(copy(b.col[wpos:], b.col[start:start+kept[row]]))
+	}
+	b.off[nRows] = wpos
+	b.col = b.col[:wpos]
+	return b
+}
+
+// BandRow returns the band indexing this block's rows.
+func (b *Block) BandRow() int { return b.bandRow }
+
+// BandCol returns the band its entries index.
+func (b *Block) BandCol() int { return b.bandCol }
+
+// NRows returns the number of rows (the row band's size).
+func (b *Block) NRows() int { return len(b.off) - 1 }
+
+// NNZ returns the number of stored edges.
+func (b *Block) NNZ() int { return len(b.col) }
+
+// Row returns row rel's entries (band-relative, ascending).
+func (b *Block) Row(rel int) []Vertex { return b.col[b.off[rel]:b.off[rel+1]] }
+
+// Transpose returns the CSC view as a Block with the bands swapped: row j
+// of the result lists the rel(u) of edges (u, v) with rel(v) = j. Entry
+// order per row follows source row order, so rows come out ascending with
+// no further sort.
+func (b *Block) Transpose(threads int) *Block {
+	t := &Block{g2: b.g2, bandRow: b.bandCol, bandCol: b.bandRow}
+	nRowsT := b.g2.BandSize(t.bandRow)
+	t.off = make([]int64, nRowsT+1)
+	nRows := b.NRows()
+	w := workersFor(threads, nRows, 64)
+	cnt := make([]int64, w*nRowsT)
+	parallelBlocks(w, nRows, func(worker, lo, hi int) {
+		h := cnt[worker*nRowsT : (worker+1)*nRowsT]
+		for row := lo; row < hi; row++ {
+			for _, v := range b.Row(row) {
+				h[v]++
+			}
+		}
+	})
+	pos := make([]int64, w*nRowsT)
+	total := int64(0)
+	for row := 0; row < nRowsT; row++ {
+		for worker := 0; worker < w; worker++ {
+			pos[worker*nRowsT+row] = total
+			total += cnt[worker*nRowsT+row]
+		}
+		t.off[row+1] = total
+	}
+	t.col = make([]Vertex, total)
+	parallelBlocks(w, nRows, func(worker, lo, hi int) {
+		cur := pos[worker*nRowsT : (worker+1)*nRowsT]
+		for row := lo; row < hi; row++ {
+			for _, v := range b.Row(row) {
+				t.col[cur[v]] = Vertex(row)
+				cur[v]++
+			}
+		}
+	})
+	return t
+}
+
+// BuildHubs indexes heavy rows with packed bitmaps over the entry band's
+// domain (see buildHubs for the memory cap); minDeg ≤ 0 disables. Queries
+// against a hub row become branchless bit tests, hub ∩ hub word-AND +
+// popcount — the same kernels the 1D counters dispatch to.
+func (b *Block) BuildHubs(minDeg, threads int) {
+	b.hubs = buildHubs(b.NRows(), b.g2.BandSize(b.bandCol), b.off, b.col, minDeg, threads)
+}
+
+// Hub returns row rel's bitmap, nil when the row is not indexed.
+func (b *Block) Hub(rel int) Bitset { return b.hubs.bitset(rel) }
+
+// Wire serialization: only non-empty rows are shipped, each as
+// (relGap, len, first, gap, gap, ...). Rows leave in ascending order, so
+// the row index travels as a gap off the previous row (the first row
+// absolute), and the entries within a row are gap-differenced too — under
+// the varint wire codec both become delta-varint compression, without the
+// codec needing to know record boundaries.
+
+// AppendWire appends the block's wire words to dst and returns it.
+func (b *Block) AppendWire(dst []uint64) []uint64 {
+	used := uint64(0)
+	for row := 0; row < b.NRows(); row++ {
+		if b.off[row+1] > b.off[row] {
+			used++
+		}
+	}
+	dst = append(dst, uint64(b.bandRow), uint64(b.bandCol), used)
+	prevRow := 0
+	first := true
+	for row := 0; row < b.NRows(); row++ {
+		seg := b.Row(row)
+		if len(seg) == 0 {
+			continue
+		}
+		if first {
+			dst = append(dst, uint64(row))
+			first = false
+		} else {
+			dst = append(dst, uint64(row-prevRow))
+		}
+		prevRow = row
+		dst = append(dst, uint64(len(seg)))
+		prev := Vertex(0)
+		for i, v := range seg {
+			if i == 0 {
+				dst = append(dst, v)
+			} else {
+				dst = append(dst, v-prev)
+			}
+			prev = v
+		}
+	}
+	return dst
+}
+
+// DecodeBlockInto rebuilds a Block from wire words, reusing b's off and col
+// capacity so the steady-state exchange decodes without allocating. The
+// rows arrive ascending (AppendWire's order), so the CSR assembles in one
+// pass.
+func DecodeBlockInto(g2 *part.Grid2D, wire []uint64, b *Block) error {
+	if len(wire) < 3 {
+		return fmt.Errorf("graph: block wire truncated (%d words)", len(wire))
+	}
+	b.g2 = g2
+	b.bandRow, b.bandCol = int(wire[0]), int(wire[1])
+	if b.bandRow >= g2.Q() || b.bandCol >= g2.Q() {
+		return fmt.Errorf("graph: block wire names band (%d,%d) outside the %d-grid", b.bandRow, b.bandCol, g2.Q())
+	}
+	used := int(wire[2])
+	wire = wire[3:]
+	nRows := g2.BandSize(b.bandRow)
+	domain := Vertex(g2.BandSize(b.bandCol))
+	if cap(b.off) < nRows+1 {
+		b.off = make([]int64, nRows+1)
+	}
+	b.off = b.off[:nRows+1]
+	b.col = b.col[:0]
+	b.hubs = hubIndex{}
+	w := int64(0)
+	nextRow := 0
+	for rec := 0; rec < used; rec++ {
+		if len(wire) < 2 {
+			return fmt.Errorf("graph: block wire truncated in record %d", rec)
+		}
+		// The first record carries its row absolute, later ones a gap off the
+		// previous row (≥ 1: rows are strictly ascending on the wire).
+		rel, ln := int(wire[0]), int(wire[1])
+		if rec > 0 {
+			rel += nextRow - 1 // nextRow is the previous record's row + 1
+		}
+		wire = wire[2:]
+		if rel < nextRow || rel >= nRows || ln < 1 || ln > len(wire) {
+			return fmt.Errorf("graph: block wire record %d malformed (rel=%d len=%d)", rec, rel, ln)
+		}
+		for ; nextRow <= rel; nextRow++ {
+			b.off[nextRow] = w
+		}
+		prev := Vertex(0)
+		for i := 0; i < ln; i++ {
+			v := wire[i]
+			if i > 0 {
+				v += prev
+			}
+			if v >= domain || (i > 0 && v <= prev) {
+				return fmt.Errorf("graph: block wire record %d entry %d out of order or range", rec, i)
+			}
+			b.col = append(b.col, v)
+			prev = v
+		}
+		wire = wire[ln:]
+		w += int64(ln)
+	}
+	if len(wire) != 0 {
+		return fmt.Errorf("graph: %d trailing words after block wire", len(wire))
+	}
+	for ; nextRow <= nRows; nextRow++ {
+		b.off[nextRow] = w
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+
+	"repro/internal/part"
+)
+
+func block2DEdges(t *testing.T, n uint64, seed uint64) []Edge {
+	t.Helper()
+	// Deterministic scramble: a mix of loops, duplicates, and both
+	// orientations, covering every band pair for small n.
+	var edges []Edge
+	x := seed
+	for i := 0; i < int(n)*8; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		u := (x >> 16) % n
+		v := (x >> 40) % n
+		edges = append(edges, Edge{U: u, V: v})
+		if i%7 == 0 {
+			edges = append(edges, Edge{U: v, V: u}) // duplicate, flipped
+		}
+		if i%11 == 0 {
+			edges = append(edges, Edge{U: u, V: u}) // self-loop
+		}
+	}
+	return edges
+}
+
+// TestScatterEdges2DPartition: every non-loop edge lands in exactly one
+// slice — its owner's — canon-oriented; loops are dropped; the layout is
+// byte-identical across thread counts.
+func TestScatterEdges2DPartition(t *testing.T) {
+	g2, err := part.NewGrid2D(37, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := block2DEdges(t, 37, 12345)
+	ref := ScatterEdges2D(g2, edges, 1)
+	nonLoops := 0
+	for _, e := range edges {
+		if e.U != e.V {
+			nonLoops++
+		}
+	}
+	placed := 0
+	for rank, slice := range ref {
+		for _, e := range slice {
+			if e.U >= e.V {
+				t.Fatalf("rank %d holds non-canon edge (%d,%d)", rank, e.U, e.V)
+			}
+			if got := g2.Owner(e.U, e.V); got != rank {
+				t.Fatalf("edge (%d,%d) in slice %d, owner is %d", e.U, e.V, rank, got)
+			}
+		}
+		placed += len(slice)
+	}
+	if placed != nonLoops {
+		t.Fatalf("placed %d edges, want %d non-loops", placed, nonLoops)
+	}
+	for _, threads := range []int{2, 4, 7} {
+		got := ScatterEdges2D(g2, edges, threads)
+		for rank := range ref {
+			if !slices.Equal(got[rank], ref[rank]) {
+				t.Fatalf("threads=%d: slice %d differs from single-thread layout", threads, rank)
+			}
+		}
+	}
+	for rank := range ref {
+		if got := ScatterEdges2DRank(g2, edges, rank, 3); !slices.Equal(got, ref[rank]) {
+			t.Fatalf("ScatterEdges2DRank(%d) differs from ScatterEdges2D slice", rank)
+		}
+	}
+}
+
+// blockOracle builds the expected per-row entry sets with a map.
+func blockOracle(g2 *part.Grid2D, rank int, edges []Edge) map[int][]Vertex {
+	r, c := g2.RowCol(rank)
+	rows := make(map[int]map[Vertex]bool)
+	for _, e := range edges {
+		if g2.Band(e.U) != r || g2.Band(e.V) != c {
+			continue
+		}
+		row := int(g2.Rel(e.U))
+		if rows[row] == nil {
+			rows[row] = make(map[Vertex]bool)
+		}
+		rows[row][g2.Rel(e.V)] = true
+	}
+	out := make(map[int][]Vertex, len(rows))
+	for row, set := range rows {
+		for v := range set {
+			out[row] = append(out[row], v)
+		}
+		slices.Sort(out[row])
+	}
+	return out
+}
+
+func checkBlockAgainstOracle(t *testing.T, b *Block, oracle map[int][]Vertex, label string) {
+	t.Helper()
+	nnz := 0
+	for row := 0; row < b.NRows(); row++ {
+		want := oracle[row]
+		if got := b.Row(row); !slices.Equal(got, want) {
+			t.Fatalf("%s row %d: got %v, want %v", label, row, got, want)
+		}
+		nnz += len(want)
+	}
+	if b.NNZ() != nnz {
+		t.Fatalf("%s: NNZ=%d, oracle %d", label, b.NNZ(), nnz)
+	}
+}
+
+// TestBuildBlock2D pins the CSR against a map oracle, across thread counts,
+// with duplicates in the input.
+func TestBuildBlock2D(t *testing.T) {
+	g2, err := part.NewGrid2D(29, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := ScatterEdges2D(g2, block2DEdges(t, 29, 777), 2)
+	for rank := 0; rank < g2.P(); rank++ {
+		// Inject duplicates: BuildBlock2D must merge them.
+		in := append(slices.Clone(per[rank]), per[rank]...)
+		oracle := blockOracle(g2, rank, in)
+		for _, threads := range []int{1, 3} {
+			b := BuildBlock2D(g2, rank, in, threads)
+			r, c := g2.RowCol(rank)
+			if b.BandRow() != r || b.BandCol() != c || b.NRows() != g2.BandSize(r) {
+				t.Fatalf("rank %d: block shape (%d,%d,%d)", rank, b.BandRow(), b.BandCol(), b.NRows())
+			}
+			checkBlockAgainstOracle(t, b, oracle, "block")
+		}
+	}
+}
+
+// TestBlockTranspose: the transpose holds exactly the flipped entries, rows
+// ascending, bands swapped.
+func TestBlockTranspose(t *testing.T) {
+	g2, err := part.NewGrid2D(23, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := ScatterEdges2D(g2, block2DEdges(t, 23, 999), 1)
+	for rank := 0; rank < g2.P(); rank++ {
+		b := BuildBlock2D(g2, rank, per[rank], 2)
+		for _, threads := range []int{1, 4} {
+			bt := b.Transpose(threads)
+			if bt.BandRow() != b.BandCol() || bt.BandCol() != b.BandRow() {
+				t.Fatalf("rank %d: transpose bands (%d,%d)", rank, bt.BandRow(), bt.BandCol())
+			}
+			oracle := make(map[int][]Vertex)
+			for row := 0; row < b.NRows(); row++ {
+				for _, v := range b.Row(row) {
+					oracle[int(v)] = append(oracle[int(v)], Vertex(row))
+				}
+			}
+			checkBlockAgainstOracle(t, bt, oracle, "transpose")
+		}
+	}
+}
+
+// TestBlockWireRoundTrip: AppendWire → DecodeBlockInto reproduces the block,
+// including through reuse of a previously-populated scratch block.
+func TestBlockWireRoundTrip(t *testing.T) {
+	g2, err := part.NewGrid2D(41, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := ScatterEdges2D(g2, block2DEdges(t, 41, 4242), 2)
+	var scratch Block // reused across ranks: decode must fully overwrite
+	for rank := 0; rank < g2.P(); rank++ {
+		b := BuildBlock2D(g2, rank, per[rank], 1)
+		wire := b.AppendWire(nil)
+		if err := DecodeBlockInto(g2, wire, &scratch); err != nil {
+			t.Fatalf("rank %d: decode: %v", rank, err)
+		}
+		if scratch.BandRow() != b.BandRow() || scratch.BandCol() != b.BandCol() ||
+			scratch.NRows() != b.NRows() || scratch.NNZ() != b.NNZ() {
+			t.Fatalf("rank %d: decoded shape differs", rank)
+		}
+		for row := 0; row < b.NRows(); row++ {
+			if !slices.Equal(scratch.Row(row), b.Row(row)) {
+				t.Fatalf("rank %d row %d: decoded %v, want %v", rank, row, scratch.Row(row), b.Row(row))
+			}
+		}
+	}
+}
+
+// TestDecodeBlockIntoRejectsMalformed: truncation, bad bands, descending
+// rows, out-of-range and out-of-order entries, trailing garbage.
+func TestDecodeBlockIntoRejectsMalformed(t *testing.T) {
+	g2, err := part.NewGrid2D(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wire := range map[string][]uint64{
+		"truncated header":                 {0, 1},
+		"band out of range":                {5, 0, 0},
+		"truncated record":                 {0, 1, 1, 0},
+		"zero-length row":                  {0, 1, 1, 0, 0},
+		"row out of range":                 {0, 1, 1, 99, 1, 0},
+		"row gap zero (dup)":               {0, 1, 2, 3, 1, 0, 0, 1, 0},
+		"row gap past range":               {0, 1, 2, 3, 1, 0, 96, 1, 0},
+		"entry past domain":                {0, 1, 1, 0, 1, 99},
+		"entries not ascending (zero gap)": {0, 1, 1, 0, 2, 3, 0},
+		"trailing words":                   {0, 1, 1, 0, 1, 0, 7},
+	} {
+		var b Block
+		if err := DecodeBlockInto(g2, wire, &b); err == nil {
+			t.Errorf("%s: decode accepted %v", name, wire)
+		}
+	}
+}
+
+// FuzzBlockMapping is the satellite fuzz target: for arbitrary edge streams
+// and any square p, every non-loop edge belongs to exactly one block, that
+// block round-trips to the owning rank, and the built block survives a wire
+// round trip bit-exactly.
+func FuzzBlockMapping(f *testing.F) {
+	f.Add([]byte{}, uint16(7), uint8(2))
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0}, uint16(9), uint8(3))
+	f.Add([]byte{9, 0, 3, 0, 3, 0, 9, 0, 5, 0, 5, 0}, uint16(50), uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint16, qRaw uint8) {
+		n := uint64(nRaw%300) + 1
+		q := int(qRaw%8) + 1
+		g2, err := part.NewGrid2D(n, q*q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var edges []Edge
+		for i := 0; i+3 < len(data); i += 4 {
+			u := uint64(binary.LittleEndian.Uint16(data[i:])) % n
+			v := uint64(binary.LittleEndian.Uint16(data[i+2:])) % n
+			edges = append(edges, Edge{U: u, V: v})
+		}
+		per := ScatterEdges2D(g2, edges, 2)
+		seen := make(map[Edge]int)
+		for rank, slice := range per {
+			for _, e := range slice {
+				if prev, dup := seen[e]; dup && prev != rank {
+					t.Fatalf("edge (%d,%d) in blocks %d and %d", e.U, e.V, prev, rank)
+				}
+				seen[e] = rank
+				if g2.Owner(e.U, e.V) != rank {
+					t.Fatalf("edge (%d,%d) misrouted to %d", e.U, e.V, rank)
+				}
+				r, c := g2.RowCol(rank)
+				if int(g2.Band(e.U)) != r || int(g2.Band(e.V)) != c {
+					t.Fatalf("edge (%d,%d) bands disagree with block (%d,%d)", e.U, e.V, r, c)
+				}
+			}
+		}
+		for _, e := range edges {
+			if e.U == e.V {
+				continue
+			}
+			if _, ok := seen[e.Canon()]; !ok {
+				t.Fatalf("edge (%d,%d) landed in no block", e.U, e.V)
+			}
+		}
+		// Wire round trip of a populated block (pick the fullest).
+		best := 0
+		for rank := range per {
+			if len(per[rank]) > len(per[best]) {
+				best = rank
+			}
+		}
+		b := BuildBlock2D(g2, best, per[best], 1)
+		var rt Block
+		if err := DecodeBlockInto(g2, b.AppendWire(nil), &rt); err != nil {
+			t.Fatalf("wire round trip: %v", err)
+		}
+		if rt.NNZ() != b.NNZ() || rt.NRows() != b.NRows() {
+			t.Fatalf("wire round trip changed shape")
+		}
+		for row := 0; row < b.NRows(); row++ {
+			if !slices.Equal(rt.Row(row), b.Row(row)) {
+				t.Fatalf("wire round trip changed row %d", row)
+			}
+		}
+	})
+}

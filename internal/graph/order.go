@@ -35,7 +35,7 @@ func (o *OutGraph) BuildHubs(minDeg int) { o.BuildHubsPar(minDeg, 1) }
 // BuildHubsPar is BuildHubs with the bitmap fills fanned out over threads
 // workers.
 func (o *OutGraph) BuildHubsPar(minDeg, threads int) {
-	o.hubs = buildHubs(o.NumVertices(), o.off, o.out, minDeg, threads)
+	o.hubs = buildHubs(o.NumVertices(), o.NumVertices(), o.off, o.out, minDeg, threads)
 }
 
 // NumHubs returns the number of vertices carrying a hub bitmap.

@@ -62,15 +62,18 @@ func (h *hubIndex) bitset(row int) Bitset {
 // buildHubs indexes rows with list length ≥ minDeg, capping total bitmap
 // memory at the memory of the lists themselves (one word per entry): with
 // stride words per bitmap, at most len(entries)/stride rows get one, largest
-// rows first. minDeg ≤ 0 disables the index. Candidate selection is
-// sequential (cheap); the bitmap fills fan out over threads workers — each
-// hub owns a disjoint stride of the backing word array.
-func buildHubs(rows int, off []int64, entries []Vertex, minDeg, threads int) hubIndex {
+// rows first. minDeg ≤ 0 disables the index. The bitset domain is the entry
+// value range — for the row-translated 1D layouts that equals the row
+// count, while 2D blocks index one band's rows with entries from another
+// band. Candidate selection is sequential (cheap); the bitmap fills fan out
+// over threads workers — each hub owns a disjoint stride of the backing
+// word array.
+func buildHubs(rows, domain int, off []int64, entries []Vertex, minDeg, threads int) hubIndex {
 	var h hubIndex
-	if minDeg <= 0 || rows == 0 || len(entries) == 0 {
+	if minDeg <= 0 || rows == 0 || domain == 0 || len(entries) == 0 {
 		return h
 	}
-	h.stride = BitsetWords(rows)
+	h.stride = BitsetWords(domain)
 	maxHubs := len(entries) / h.stride
 	if maxHubs == 0 {
 		return h
@@ -121,7 +124,7 @@ func (o *LocalOriented) BuildHubs(minDeg int) { o.BuildHubsPar(minDeg, 1) }
 // BuildHubsPar is BuildHubs with the bitmap fills fanned out over threads
 // workers (hubs own disjoint strides of the backing array).
 func (o *LocalOriented) BuildHubsPar(minDeg, threads int) {
-	o.hubs = buildHubs(o.L.Rows(), o.off, o.rowOut, minDeg, threads)
+	o.hubs = buildHubs(o.L.Rows(), o.L.Rows(), o.off, o.rowOut, minDeg, threads)
 }
 
 // NumHubs returns the number of rows carrying a hub bitmap.

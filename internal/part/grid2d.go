@@ -1,0 +1,125 @@
+package part
+
+import "fmt"
+
+// 2D block partitioning à la Tom & Karypis ("A 2-D Parallel Triangle
+// Counting Algorithm", 2019): the upper-triangular oriented adjacency
+// matrix U (U[u][v] = 1 iff {u,v} ∈ E and u < v) is cut into a q×q grid of
+// blocks over p = q² PEs, and PE r·q+c owns block (r,c) — the edges whose
+// smaller endpoint falls in row band r and larger endpoint in column band c.
+//
+// Bands are CYCLIC, not contiguous: band(v) = v mod q. With contiguous
+// bands the upper-triangular structure would leave every block below the
+// grid diagonal empty (u < v forces band(u) ≤ band(v)), idling nearly half
+// the PEs; dealing vertices round-robin scatters each band across the whole
+// ID range, so all q² blocks carry ≈|E|/p edges — the same trick dense LU
+// solvers use against triangular imbalance. Within a band, a vertex is
+// addressed by its relative index rel(v) = v div q, which is monotone in v,
+// so ID-sorted adjacency stays sorted after translation.
+type Grid2D struct {
+	n uint64
+	q int
+}
+
+// SquareSide returns q with q² = p, or ok=false when p is not a perfect
+// square (the 2D grid needs one PE per block).
+func SquareSide(p int) (int, bool) {
+	if p < 1 {
+		return 0, false
+	}
+	q := 0
+	for q*q < p {
+		q++
+	}
+	return q, q*q == p
+}
+
+// NewGrid2D builds the q×q block partitioning of vertices 0..n-1 over
+// p = q² PEs.
+func NewGrid2D(n uint64, p int) (*Grid2D, error) {
+	q, ok := SquareSide(p)
+	if !ok {
+		return nil, fmt.Errorf("part: 2D grid needs a square PE count, got p=%d", p)
+	}
+	return &Grid2D{n: n, q: q}, nil
+}
+
+// N returns the number of vertices.
+func (g *Grid2D) N() uint64 { return g.n }
+
+// P returns the number of PEs (q²).
+func (g *Grid2D) P() int { return g.q * g.q }
+
+// Q returns the grid side length q = √p.
+func (g *Grid2D) Q() int { return g.q }
+
+// Band returns the band (residue class) of vertex v.
+func (g *Grid2D) Band(v uint64) int {
+	g.check(v)
+	return int(v % uint64(g.q))
+}
+
+// Rel returns v's relative index within its band.
+func (g *Grid2D) Rel(v uint64) uint64 {
+	g.check(v)
+	return v / uint64(g.q)
+}
+
+// GID reconstructs the global vertex ID from a band and a relative index.
+func (g *Grid2D) GID(band int, rel uint64) uint64 {
+	return rel*uint64(g.q) + uint64(band)
+}
+
+// BandSize returns the number of vertices in band b: the count of
+// v < n with v ≡ b (mod q).
+func (g *Grid2D) BandSize(b int) int {
+	if uint64(b) >= g.n {
+		return 0
+	}
+	return int((g.n - uint64(b) + uint64(g.q) - 1) / uint64(g.q))
+}
+
+// Rank returns the PE owning block (r, c).
+func (g *Grid2D) Rank(r, c int) int { return r*g.q + c }
+
+// RowCol returns the block coordinates of a PE.
+func (g *Grid2D) RowCol(rank int) (r, c int) { return rank / g.q, rank % g.q }
+
+// Owner returns the PE owning the undirected edge {u, v}: the block indexed
+// by the bands of the smaller and larger endpoint. u must differ from v
+// (self-loops belong to no block).
+func (g *Grid2D) Owner(u, v uint64) int {
+	if u == v {
+		panic(fmt.Sprintf("part: self-loop %d has no block owner", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return g.Rank(g.Band(u), g.Band(v))
+}
+
+// RowRanks returns the ranks of grid row r in column order — the row
+// sub-communicator's member list.
+func (g *Grid2D) RowRanks(r int) []int {
+	out := make([]int, g.q)
+	for c := range out {
+		out[c] = g.Rank(r, c)
+	}
+	return out
+}
+
+// ColRanks returns the ranks of grid column c in row order — the column
+// sub-communicator's member list.
+func (g *Grid2D) ColRanks(c int) []int {
+	out := make([]int, g.q)
+	for r := range out {
+		out[r] = g.Rank(r, c)
+	}
+	return out
+}
+
+func (g *Grid2D) check(v uint64) {
+	if v >= g.n {
+		panic(fmt.Sprintf("part: vertex %d out of range n=%d", v, g.n))
+	}
+}

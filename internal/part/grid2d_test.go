@@ -1,0 +1,129 @@
+package part
+
+import "testing"
+
+func TestSquareSide(t *testing.T) {
+	for p, want := range map[int]int{1: 1, 4: 2, 9: 3, 16: 4, 25: 5, 64: 8} {
+		q, ok := SquareSide(p)
+		if !ok || q != want {
+			t.Errorf("SquareSide(%d) = %d,%v, want %d,true", p, q, ok, want)
+		}
+	}
+	for _, p := range []int{0, -4, 2, 3, 5, 8, 10, 15, 24, 63} {
+		if _, ok := SquareSide(p); ok {
+			t.Errorf("SquareSide(%d) should not be square", p)
+		}
+	}
+}
+
+func TestNewGrid2DRejectsNonSquare(t *testing.T) {
+	if _, err := NewGrid2D(100, 6); err == nil {
+		t.Fatal("want error for p=6")
+	}
+}
+
+// TestGrid2DBandRoundTrip: Band/Rel/GID are a bijection, bands partition
+// the vertex set with the advertised sizes, and rel is monotone in v within
+// a band (so ID-sorted adjacency stays sorted after translation).
+func TestGrid2DBandRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n uint64
+		p int
+	}{{10, 9}, {100, 16}, {1, 4}, {7, 4}, {64, 64}, {33, 1}} {
+		g, err := NewGrid2D(tc.n, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := make([]int, g.Q())
+		for v := uint64(0); v < tc.n; v++ {
+			b, rel := g.Band(v), g.Rel(v)
+			if got := g.GID(b, rel); got != v {
+				t.Fatalf("n=%d p=%d: GID(Band,Rel) of %d = %d", tc.n, tc.p, v, got)
+			}
+			if int(rel) != sizes[b] {
+				t.Fatalf("n=%d p=%d: band %d rel not dense/monotone at v=%d", tc.n, tc.p, b, v)
+			}
+			sizes[b]++
+		}
+		total := 0
+		for b := 0; b < g.Q(); b++ {
+			if g.BandSize(b) != sizes[b] {
+				t.Fatalf("n=%d p=%d: BandSize(%d)=%d, counted %d", tc.n, tc.p, b, g.BandSize(b), sizes[b])
+			}
+			total += g.BandSize(b)
+		}
+		if total != int(tc.n) {
+			t.Fatalf("n=%d p=%d: band sizes sum to %d", tc.n, tc.p, total)
+		}
+	}
+}
+
+// TestGrid2DOwner: the owner of every pair is a valid rank, symmetric in
+// its arguments, and equals the block named by the endpoint bands.
+func TestGrid2DOwner(t *testing.T) {
+	g, err := NewGrid2D(40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint64(0); u < 40; u++ {
+		for v := uint64(0); v < 40; v++ {
+			if u == v {
+				continue
+			}
+			o := g.Owner(u, v)
+			if o != g.Owner(v, u) {
+				t.Fatalf("Owner(%d,%d) not symmetric", u, v)
+			}
+			lo, hi := min(u, v), max(u, v)
+			if want := g.Rank(g.Band(lo), g.Band(hi)); o != want {
+				t.Fatalf("Owner(%d,%d)=%d, want block rank %d", u, v, o, want)
+			}
+			r, c := g.RowCol(o)
+			if g.Rank(r, c) != o || r >= g.Q() || c >= g.Q() {
+				t.Fatalf("RowCol/Rank mismatch for %d", o)
+			}
+		}
+	}
+}
+
+func TestGrid2DRowColRanks(t *testing.T) {
+	g, err := NewGrid2D(50, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for r := 0; r < g.Q(); r++ {
+		for i, rank := range g.RowRanks(r) {
+			rr, cc := g.RowCol(rank)
+			if rr != r || cc != i {
+				t.Fatalf("RowRanks(%d)[%d] = %d at (%d,%d)", r, i, rank, rr, cc)
+			}
+			seen[rank]++
+		}
+	}
+	for c := 0; c < g.Q(); c++ {
+		for i, rank := range g.ColRanks(c) {
+			rr, cc := g.RowCol(rank)
+			if cc != c || rr != i {
+				t.Fatalf("ColRanks(%d)[%d] = %d at (%d,%d)", c, i, rank, rr, cc)
+			}
+			seen[rank]++
+		}
+	}
+	// Every rank appears in exactly one row and one column group.
+	for rank := 0; rank < g.P(); rank++ {
+		if seen[rank] != 2 {
+			t.Fatalf("rank %d appears %d times across groups", rank, seen[rank])
+		}
+	}
+}
+
+func TestGrid2DPanicsOutOfRange(t *testing.T) {
+	g, _ := NewGrid2D(10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range vertex")
+		}
+	}()
+	g.Band(10)
+}

@@ -66,6 +66,13 @@ const (
 	AlgoTriC    = core.AlgoTriC  // baseline: static buffers, no orientation
 	AlgoHavoq   = core.AlgoHavoq // baseline: vertex-centric wedge visitors
 	AlgoNoAgg   = core.AlgoNoAgg // baseline: no message aggregation (Fig. 2)
+	// AlgoTK2D is the 2D grid-partitioned backend (Tom & Karypis): the
+	// oriented adjacency matrix is cut into a √p×√p block grid and counted
+	// in √p broadcast rounds along grid rows and columns. Requires a square
+	// number of PEs; communication volume is O(|E|/√p) per PE regardless of
+	// the cut structure — see the README's 2D backend section for when it
+	// beats the 1D counters.
+	AlgoTK2D = core.AlgoTK2D
 )
 
 // Options configures a run.
@@ -122,6 +129,12 @@ type Options struct {
 	// changes bytes on the wire (Result.Agg.TotalEncodedBytes vs
 	// TotalRawBytes), never any count.
 	Codec string
+	// Profile names a costmodel network profile ("supercomputer", "cloud",
+	// "wan"). When set, the overlapped pipeline derives its eager-flush
+	// watermark from the profile's α/β break-even frame size instead of the
+	// fixed 1024-word constant (clamped to δ/2 either way). It never changes
+	// any count, only flush timing.
+	Profile string
 }
 
 // Wire codec policies for Options.Codec.
@@ -179,6 +192,7 @@ func (o Options) toConfig() core.Config {
 		SparseDegreeExchange: o.SparseDegreeExchange,
 		HubThreshold:         o.HubThreshold,
 		Codec:                o.Codec,
+		Profile:              o.Profile,
 	}
 }
 
