@@ -1,0 +1,303 @@
+package chaos_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/leakcheck"
+	"repro/internal/testgraph"
+	"repro/internal/transport"
+)
+
+// The recovery contract every fault scenario must satisfy: the run ends (no
+// hang — enforced by RunTimeout plus the test timeout), the error is a typed
+// *dist.RunError whose cause attributes the injected fault, and no
+// transport/runtime goroutine outlives the run (leakcheck).
+
+const chaosP = 4
+
+// chaosCfg is the hardened-run base config: watchdogs armed tight enough to
+// keep the grid fast, the run timeout as the last-resort backstop.
+func chaosCfg(net transport.Network) core.Config {
+	return core.Config{
+		P:            chaosP,
+		Network:      net,
+		CommDeadline: 300 * time.Millisecond,
+		RunTimeout:   20 * time.Second,
+	}
+}
+
+// TestFaultFreeEquivalence pins the injector's pass-through: a chaos wrapper
+// with an empty plan must be invisible — every fixture counts exactly its
+// known triangle total through the wrapped transport.
+func TestFaultFreeEquivalence(t *testing.T) {
+	leakcheck.Check(t)
+	for _, fx := range testgraph.All {
+		t.Run(fx.Name, func(t *testing.T) {
+			net := chaos.Wrap(transport.NewChanNetwork(chaosP), chaos.Plan{Seed: 1})
+			res, err := core.Run(core.AlgoCetric, fx.Build(), chaosCfg(net))
+			if err != nil {
+				t.Fatalf("fault-free chaos run failed: %v", err)
+			}
+			if res.Count != fx.Triangles {
+				t.Fatalf("count = %d, want %d", res.Count, fx.Triangles)
+			}
+			if s := net.Stats(); s != (chaos.Stats{}) {
+				t.Fatalf("empty plan injected faults: %+v", s)
+			}
+		})
+	}
+}
+
+// TestDelayEquivalence: delayed frames are still delivered, so a delay plan
+// shorter than the watchdog must change nothing but the wall clock.
+func TestDelayEquivalence(t *testing.T) {
+	leakcheck.Check(t)
+	for _, name := range []string{"K12", "gnm", "trigrid"} {
+		t.Run(name, func(t *testing.T) {
+			fx, _ := testgraph.ByName(name)
+			net := chaos.Wrap(transport.NewChanNetwork(chaosP), chaos.Plan{
+				Seed: 7, DelayProb: 0.25, Delay: 2 * time.Millisecond,
+			})
+			res, err := core.Run(core.AlgoCetric, fx.Build(), chaosCfg(net))
+			if err != nil {
+				t.Fatalf("delayed run failed: %v", err)
+			}
+			if res.Count != fx.Triangles {
+				t.Fatalf("count = %d, want %d", res.Count, fx.Triangles)
+			}
+			if net.Stats().Delayed == 0 {
+				t.Fatal("plan injected no delays; the scenario tested nothing")
+			}
+		})
+	}
+}
+
+// runChaos runs one fixture under a fault plan and returns the error, after
+// asserting the run did not silently succeed.
+func runChaos(t *testing.T, fixture string, plan chaos.Plan) (*chaos.Network, *dist.RunError) {
+	t.Helper()
+	fx, ok := testgraph.ByName(fixture)
+	if !ok {
+		t.Fatalf("unknown fixture %q", fixture)
+	}
+	net := chaos.Wrap(transport.NewChanNetwork(chaosP), plan)
+	_, err := core.Run(core.AlgoCetric, fx.Build(), chaosCfg(net))
+	if err == nil {
+		t.Fatal("injected fault, run succeeded anyway")
+	}
+	var re *dist.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("fault surfaced as untyped error %T: %v", err, err)
+	}
+	return net, re
+}
+
+// TestFaultGrid drives every injected fault mode through a full distributed
+// counting run and asserts it ends in a typed, correctly attributed error —
+// the recovery half of the harness's contract. Scenarios share the fixture
+// grid so each fault is exercised against distinct traffic shapes.
+func TestFaultGrid(t *testing.T) {
+	leakcheck.Check(t)
+	fixtures := []string{"K12", "gnm", "rgg"}
+
+	scenarios := []struct {
+		name string
+		plan chaos.Plan
+		// want is the set of acceptable causes; an injected fault may
+		// legitimately surface through more than one detector (e.g. a
+		// duplicated control frame can corrupt a collective before the
+		// termination counters diverge), but it must always land on one of
+		// the typed causes below — never a hang, never an untyped error.
+		want []dist.AbortCause
+		// check inspects the unwrapped cause further.
+		check func(t *testing.T, re *dist.RunError)
+	}{
+		{
+			name: "drop",
+			plan: chaos.Plan{Seed: 11, DropProb: 0.2},
+			// A dropped data frame leaves sent>recv forever: the termination
+			// detector can never equalize, so the watchdog is the detector.
+			want: []dist.AbortCause{dist.CauseWatchdog},
+			check: func(t *testing.T, re *dist.RunError) {
+				var wd *comm.WatchdogError
+				if !errors.As(re, &wd) {
+					t.Fatalf("no WatchdogError in chain: %v", re)
+				}
+			},
+		},
+		{
+			name: "corrupt",
+			plan: chaos.Plan{Seed: 13, CorruptProb: 0.3},
+			want: []dist.AbortCause{dist.CauseCorrupt},
+			check: func(t *testing.T, re *dist.RunError) {
+				var cf *comm.CorruptFrameError
+				if !errors.As(re, &cf) {
+					t.Fatalf("no CorruptFrameError in chain: %v", re)
+				}
+			},
+		},
+		{
+			name: "duplicate",
+			// Duplication inflates recv past sent (data) or replays control
+			// tags into later epochs; either way the run must end typed.
+			plan: chaos.Plan{Seed: 17, DupProb: 0.3},
+			want: []dist.AbortCause{dist.CauseWatchdog, dist.CauseBody, dist.CauseCorrupt},
+		},
+		{
+			name: "crash-panic",
+			// CrashAfter is small so the crash lands mid-protocol even on the
+			// fastest fixture (a K12 run makes only a few dozen transport ops
+			// per rank); a trigger past the run's natural op count would
+			// never fire.
+			plan: chaos.Plan{Seed: 19, CrashRank: 1, CrashAfter: 5, CrashPanic: true},
+			want: []dist.AbortCause{dist.CauseBody},
+			check: func(t *testing.T, re *dist.RunError) {
+				var ce *chaos.CrashError
+				if !errors.As(re, &ce) {
+					t.Fatalf("no CrashError in chain: %v", re)
+				}
+				if re.Rank != 1 || ce.Rank != 1 {
+					t.Fatalf("crash attributed to rank %d/%d, want 1", re.Rank, ce.Rank)
+				}
+			},
+		},
+		{
+			name: "crash-silent",
+			plan: chaos.Plan{Seed: 23, CrashRank: 1, CrashAfter: 5,
+				DetectAfter: 30 * time.Millisecond},
+			want: []dist.AbortCause{dist.CausePeerLoss},
+			check: func(t *testing.T, re *dist.RunError) {
+				var pl *comm.ErrPeerLost
+				if !errors.As(re, &pl) {
+					t.Fatalf("no ErrPeerLost in chain: %v", re)
+				}
+				if pl.Rank != 1 {
+					t.Fatalf("peer loss blamed rank %d, want 1", pl.Rank)
+				}
+			},
+		},
+		{
+			name: "partition",
+			plan: chaos.Plan{Seed: 29, Partition: [][]int{{0, 1}, {2, 3}},
+				DetectAfter: 30 * time.Millisecond},
+			want: []dist.AbortCause{dist.CausePeerLoss},
+			check: func(t *testing.T, re *dist.RunError) {
+				var pl *comm.ErrPeerLost
+				if !errors.As(re, &pl) {
+					t.Fatalf("no ErrPeerLost in chain: %v", re)
+				}
+				var pd *transport.PeerDownError
+				if !errors.As(re, &pd) || pd.Reason != "chaos: network partition" {
+					t.Fatalf("peer-down reason not attributed to the partition: %v", re)
+				}
+			},
+		},
+		{
+			name: "long-delay",
+			// Delay far beyond the watchdog: frames exist but arrive too
+			// late, the canonical silent-stall scenario.
+			plan: chaos.Plan{Seed: 31, DelayProb: 1, Delay: time.Hour},
+			want: []dist.AbortCause{dist.CauseWatchdog},
+		},
+	}
+
+	for _, sc := range scenarios {
+		for _, fixture := range fixtures {
+			t.Run(sc.name+"/"+fixture, func(t *testing.T) {
+				start := time.Now()
+				net, re := runChaos(t, fixture, sc.plan)
+				if took := time.Since(start); took > 15*time.Second {
+					t.Fatalf("recovery took %v; the deadline machinery is not bounding the run", took)
+				}
+				ok := false
+				for _, c := range sc.want {
+					if re.Cause == c {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("cause = %s, want one of %v (err: %v)", re.Cause, sc.want, re)
+				}
+				if sc.check != nil {
+					sc.check(t, re)
+				}
+				_ = net
+			})
+		}
+	}
+}
+
+// TestCrashSilentStats pins the injector's own accounting: the scripted
+// crash must be counted exactly once however many ops the victim burns.
+func TestCrashSilentStats(t *testing.T) {
+	leakcheck.Check(t)
+	net, _ := runChaos(t, "K12", chaos.Plan{
+		Seed: 37, CrashRank: 2, CrashAfter: 5, DetectAfter: 20 * time.Millisecond,
+	})
+	if got := net.Stats().Crashes; got != 1 {
+		t.Fatalf("Crashes = %d, want 1", got)
+	}
+}
+
+// TestGracefulDegradation: with AllowPartial set, an approximate run that
+// loses a peer returns the survivors' partial estimate annotated with the
+// abort instead of failing.
+func TestGracefulDegradation(t *testing.T) {
+	leakcheck.Check(t)
+	fx, _ := testgraph.ByName("rgg")
+	net := chaos.Wrap(transport.NewChanNetwork(chaosP), chaos.Plan{
+		Seed: 41, CrashRank: 3, CrashAfter: 10, DetectAfter: 30 * time.Millisecond,
+	})
+	cfg := chaosCfg(net)
+	cfg.AllowPartial = true
+	est, res, err := core.RunDoulion(core.AlgoCetric, fx.Build(), cfg, 0.8, 5)
+	if err != nil {
+		t.Fatalf("degraded run failed outright: %v", err)
+	}
+	if res.Partial == nil {
+		t.Fatal("peer loss with AllowPartial produced no Partial annotation")
+	}
+	var re *dist.RunError
+	if !errors.As(res.Partial.Err, &re) || re.Cause != dist.CausePeerLoss {
+		t.Fatalf("Partial.Err = %v, want a peer-loss RunError", res.Partial.Err)
+	}
+	if f := res.Partial.Fraction(); f < 0 || f >= 1 {
+		t.Fatalf("completion fraction = %v, want [0,1) for a crashed cluster", f)
+	}
+	if est < 0 {
+		t.Fatalf("estimate = %v, want a non-negative lower bound", est)
+	}
+	// A fault-free run under the same config must not be annotated.
+	clean := chaosCfg(chaos.Wrap(transport.NewChanNetwork(chaosP), chaos.Plan{}))
+	clean.AllowPartial = true
+	_, res2, err := core.RunDoulion(core.AlgoCetric, fx.Build(), clean, 0.8, 5)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if res2.Partial != nil {
+		t.Fatalf("clean run annotated as partial: %+v", res2.Partial)
+	}
+}
+
+// TestBodyErrorNotDegraded: AllowPartial must never swallow the body's own
+// failure — only infrastructure causes degrade.
+func TestBodyErrorNotDegraded(t *testing.T) {
+	leakcheck.Check(t)
+	_, err := dist.Run(dist.Config{P: 2}, func(pe *dist.PE) error {
+		if pe.Rank == 1 {
+			return errors.New("application bug")
+		}
+		pe.C.Barrier()
+		return nil
+	})
+	var re *dist.RunError
+	if !errors.As(err, &re) || re.Cause != dist.CauseBody {
+		t.Fatalf("err = %v, want a body-cause RunError", err)
+	}
+}

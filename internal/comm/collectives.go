@@ -120,7 +120,7 @@ func (c *Comm) DenseExchange(data [][]uint64) [][]uint64 {
 		copy(msg[1:], data[dst])
 		c.M.PayloadWords += int64(len(data[dst]))
 		if err := c.sendData(dst, msg); err != nil {
-			panic(fmt.Sprintf("comm: dense exchange to %d: %v", dst, err))
+			raiseSendErr("dense exchange", dst, err)
 		}
 	}
 	for got := 1; got < p; got++ {
@@ -134,6 +134,6 @@ func (c *Comm) DenseExchange(data [][]uint64) [][]uint64 {
 
 func (c *Comm) mustControl(dst int, words []uint64) {
 	if err := c.sendControl(dst, words); err != nil {
-		panic(fmt.Sprintf("comm: control to %d: %v", dst, err))
+		raiseSendErr("control", dst, err)
 	}
 }

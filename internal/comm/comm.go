@@ -2,7 +2,9 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"runtime"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -50,6 +52,15 @@ type Comm struct {
 	// peers tracks distinct data-frame destinations for Metrics.Peers.
 	peers map[int]struct{}
 
+	// Watchdog state (see SetDeadline): progress counts frames ever returned
+	// by next; the stall bookkeeping turns a blocking primitive that sees no
+	// new frames for longer than deadline into a typed panic instead of an
+	// unbounded spin.
+	deadline   time.Duration
+	progress   int64
+	stallMark  int64
+	stallSince time.Time
+
 	M Metrics
 }
 
@@ -60,6 +71,41 @@ func New(ep transport.Endpoint) *Comm {
 		stash:  make(map[uint64][]transport.Frame),
 		epochs: make(map[uint64]uint64),
 		peers:  make(map[int]struct{}),
+	}
+}
+
+// SetDeadline arms the communication watchdog: any blocking primitive (the
+// termination detector inside Drain, every collective) that waits longer
+// than d without receiving a single frame fails with a typed error — a
+// *WatchdogError, or an *ErrPeerLost when the transport can name a dead peer
+// — instead of spinning forever on traffic that will never arrive. d ≤ 0
+// (the default) disables the deadline; transport peer-health verdicts are
+// still surfaced while waiting either way.
+func (c *Comm) SetDeadline(d time.Duration) { c.deadline = d }
+
+// checkStalled is the wait-step guard shared by the termination detector and
+// the collectives. Called only on iterations that found no frame, so its
+// clock reads are confined to time the PE is idle anyway.
+func (c *Comm) checkStalled(where string) {
+	if h, ok := c.ep.(transport.HealthReporter); ok {
+		if err := h.Health(); err != nil {
+			var pd *transport.PeerDownError
+			if errors.As(err, &pd) {
+				panic(&ErrPeerLost{Rank: pd.Rank, Err: err})
+			}
+			panic(&ErrPeerLost{Rank: -1, Err: err})
+		}
+	}
+	if c.deadline <= 0 {
+		return
+	}
+	if c.progress != c.stallMark || c.stallSince.IsZero() {
+		c.stallMark = c.progress
+		c.stallSince = time.Now()
+		return
+	}
+	if waited := time.Since(c.stallSince); waited > c.deadline {
+		panic(&WatchdogError{Where: where, Waited: waited})
 	}
 }
 
@@ -126,6 +172,7 @@ func (c *Comm) next(match func(t uint64) bool) (transport.Frame, bool) {
 			} else {
 				c.stash[t] = fs[1:]
 			}
+			c.progress++
 			return f, true
 		}
 	}
@@ -134,6 +181,7 @@ func (c *Comm) next(match func(t uint64) bool) (transport.Frame, bool) {
 		if !ok {
 			return transport.Frame{}, false
 		}
+		c.progress++
 		t := tagOf(f)
 		if match(t) {
 			return f, true
@@ -142,12 +190,14 @@ func (c *Comm) next(match func(t uint64) bool) (transport.Frame, bool) {
 	}
 }
 
-// wait blocks (cooperatively) until a matching frame arrives.
+// wait blocks (cooperatively) until a matching frame arrives, guarded by the
+// communication watchdog.
 func (c *Comm) wait(match func(t uint64) bool) transport.Frame {
 	for {
 		if f, ok := c.next(match); ok {
 			return f
 		}
+		c.checkStalled("collective")
 		runtime.Gosched()
 	}
 }

@@ -268,7 +268,7 @@ func (q *Queue) Flush() {
 		q.c.M.Flushes++
 		q.c.notePeer(hop)
 		if err := q.c.sendDataBytes(hop, frame, len(buf)); err != nil {
-			panic(fmt.Sprintf("comm: flush to %d: %v", hop, err))
+			raiseSendErr("flush", hop, err)
 		}
 		q.bufs[hop] = buf[:1] // retain tag + capacity for the next cycle
 	}
@@ -349,16 +349,30 @@ func (q *Queue) processData(f transport.Frame) {
 	prev := q.curArena
 	pos := 8 // skip tag bytes
 	for pos < len(b) {
+		// Each Uvarint is checked before its length feeds the next slice
+		// offset: an overflowed varint returns a negative length, and
+		// b[pos+n:] with n < 0 would crash with an untyped runtime panic
+		// instead of the typed corrupt-frame verdict.
 		finalDst, n1 := binary.Uvarint(b[pos:])
+		if n1 <= 0 {
+			panic(&CorruptFrameError{Src: f.Src, Reason: "truncated envelope"})
+		}
 		origSrc, n2 := binary.Uvarint(b[pos+n1:])
+		if n2 <= 0 {
+			panic(&CorruptFrameError{Src: f.Src, Reason: "truncated envelope"})
+		}
 		ch, n3 := binary.Uvarint(b[pos+n1+n2:])
+		if n3 <= 0 {
+			panic(&CorruptFrameError{Src: f.Src, Reason: "truncated envelope"})
+		}
 		encLen, n4 := binary.Uvarint(b[pos+n1+n2+n3:])
-		if n1 <= 0 || n2 <= 0 || n3 <= 0 || n4 <= 0 {
-			panic("comm: truncated data-frame envelope")
+		if n4 <= 0 {
+			panic(&CorruptFrameError{Src: f.Src, Reason: "truncated envelope"})
 		}
 		pos += n1 + n2 + n3 + n4
-		if ch >= MaxChannels || pos+int(encLen) > len(b) {
-			panic(fmt.Sprintf("comm: corrupt data-frame envelope (ch=%d, len=%d)", ch, encLen))
+		if ch >= MaxChannels || int(finalDst) >= q.c.Size() || pos+int(encLen) > len(b) {
+			panic(&CorruptFrameError{Src: f.Src,
+				Reason: fmt.Sprintf("invalid envelope (dst=%d, ch=%d, len=%d)", finalDst, ch, encLen)})
 		}
 		enc := b[pos : pos+int(encLen)]
 		pos += int(encLen)
@@ -366,7 +380,7 @@ func (q *Queue) processData(f transport.Frame) {
 		var err error
 		ar.words, err = q.codecs[ch].AppendDecoded(ar.words, enc)
 		if err != nil {
-			panic(fmt.Sprintf("comm: decode channel %d: %v", ch, err))
+			panic(&CorruptFrameError{Src: f.Src, Reason: fmt.Sprintf("decode channel %d: %v", ch, err)})
 		}
 		// Cap the slice so a handler appending to its payload cannot
 		// clobber records decoded after it.
@@ -441,7 +455,9 @@ func (q *Queue) noteBusy() {
 // stall is the detector's wait step: try the progress callback, and when it
 // has nothing to do either, yield and account the time as idle. The idle
 // episode is closed *before* the callback runs so that stolen-work time is
-// never attributed to IdleNs — only genuine waiting is.
+// never attributed to IdleNs — only genuine waiting is. Each idle step also
+// runs the communication watchdog, so a detector waiting on a dead peer
+// fails with a typed error instead of spinning past the deadline.
 func (q *Queue) stall(progress func() bool) {
 	if progress != nil {
 		q.noteBusy()
@@ -450,6 +466,7 @@ func (q *Queue) stall(progress func() bool) {
 		}
 	}
 	q.noteIdle()
+	q.c.checkStalled("drain")
 	runtime.Gosched()
 }
 
@@ -469,7 +486,7 @@ func (q *Queue) drainCoordinator(progress func() bool) {
 		q.round++
 		for dst := 1; dst < p; dst++ {
 			if err := q.c.sendControl(dst, []uint64{tag(kindProbe, round)}); err != nil {
-				panic(fmt.Sprintf("comm: probe to %d: %v", dst, err))
+				raiseSendErr("probe", dst, err)
 			}
 		}
 		sumSent, sumRecv := q.sent, q.recv
@@ -494,7 +511,7 @@ func (q *Queue) drainCoordinator(progress func() bool) {
 		if sumSent == sumRecv && sumSent == prevSent && sumRecv == prevRecv {
 			for dst := 1; dst < p; dst++ {
 				if err := q.c.sendControl(dst, []uint64{tag(kindTerm, 0)}); err != nil {
-					panic(fmt.Sprintf("comm: term to %d: %v", dst, err))
+					raiseSendErr("term", dst, err)
 				}
 			}
 			return
@@ -524,7 +541,7 @@ func (q *Queue) drainWorker(progress func() bool) {
 			round := f.Words[0] >> 16
 			reply := []uint64{tag(kindReply, round), uint64(q.sent), uint64(q.recv)}
 			if err := q.c.sendControl(0, reply); err != nil {
-				panic(fmt.Sprintf("comm: reply: %v", err))
+				raiseSendErr("reply", 0, err)
 			}
 		case kindTerm:
 			return

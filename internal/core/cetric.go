@@ -76,6 +76,7 @@ func cetricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Confi
 		cetricLocalPhase(lg, ori, state, 0, lg.Rows())
 	}
 
+	out.partialCount = state.count // coherent local-phase snapshot for degraded merges
 	sw.phase(PhaseContraction)
 	cut = ori.ContractPar(cfg.Threads)
 	cut.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)

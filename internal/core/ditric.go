@@ -74,6 +74,7 @@ func ditricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Confi
 		ditricLocalRows(pe, pt, lg, ori, state, 0, lg.NLocal(), nil, cfg.NoSurrogate)
 	}
 
+	out.partialCount = state.count // coherent local-phase snapshot for degraded merges
 	sw.phase(PhaseGlobal)
 	pe.Q.Drain()
 	if pool != nil {

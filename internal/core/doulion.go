@@ -27,6 +27,12 @@ func SparsifyDoulion(g *graph.Graph, q float64, seed uint64) *graph.Graph {
 
 // RunDoulion estimates the triangle count: sparsify with probability q,
 // count exactly with algo, scale by 1/q³.
+//
+// With cfg.AllowPartial set, a run aborted by an infrastructure failure
+// (lost peer, watchdog, timeout) degrades instead of failing: the estimate
+// scales the partial count the survivors produced — a lower-bound estimate —
+// and res.Partial carries the abort cause plus the completion fraction for
+// widening the q-dependent error bound.
 func RunDoulion(algo Algorithm, g *graph.Graph, cfg Config, q float64, seed uint64) (float64, *Result, error) {
 	// Written as a negated conjunction so NaN is rejected too: both NaN ≤ 0
 	// and NaN > 1 are false, so the direct two-clause check would accept it
@@ -62,7 +68,9 @@ func SparsifyColorful(g *graph.Graph, ncolors int, seed uint64) *graph.Graph {
 }
 
 // RunColorful estimates the triangle count via colorful sparsification:
-// count the monochromatic graph exactly, scale by ncolors².
+// count the monochromatic graph exactly, scale by ncolors². Degrades under
+// cfg.AllowPartial exactly like RunDoulion: a lower-bound estimate with the
+// abort annotated in res.Partial.
 func RunColorful(algo Algorithm, g *graph.Graph, cfg Config, ncolors int, seed uint64) (float64, *Result, error) {
 	if ncolors < 1 {
 		return 0, nil, fmt.Errorf("core: need at least one color, got %d", ncolors)

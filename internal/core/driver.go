@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -74,6 +75,7 @@ func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
 	start := time.Now()
 	metrics, err := dist.Run(dist.Config{
 		P: cfg.P, Threshold: threshold, Indirect: indirect, Network: cfg.Network,
+		CommDeadline: cfg.CommDeadline, RunTimeout: cfg.RunTimeout,
 	}, func(pe *dist.PE) error {
 		if err := applyCodecs(pe.Q, cfg.Codec); err != nil {
 			return err
@@ -82,14 +84,41 @@ func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
 		outcomes[pe.Rank] = out
 		return body(pe, pt, perEdges[pe.Rank], cfg, out)
 	})
+	var res *Result
 	if err != nil {
-		return nil, err
+		if res = maybePartial(err, cfg, outcomes, metrics, g); res == nil {
+			return nil, err
+		}
+	} else {
+		res = mergeOutcomes(outcomes, metrics, g, cfg)
 	}
-	res := mergeOutcomes(outcomes, metrics, g, cfg)
 	res.Wall = time.Since(start)
 	res.Phases[PhaseScatter] += scatterWall
 	res.Phases[PhasePreprocess] += scatterWall
 	return res, nil
+}
+
+// maybePartial turns an infrastructure abort into a degraded merge when the
+// config allows it: completed PEs contribute their full totals, aborted ones
+// their last phase-boundary snapshot. Returns nil when the error must
+// propagate — degradation is opt-in and never hides the body's own errors.
+func maybePartial(err error, cfg Config, outcomes []*peOutcome, metrics []comm.Metrics, g *graph.Graph) *Result {
+	if !cfg.AllowPartial {
+		return nil
+	}
+	var re *dist.RunError
+	if !errors.As(err, &re) || re.Cause == dist.CauseBody {
+		return nil
+	}
+	res := mergeOutcomes(outcomes, metrics, g, cfg)
+	completed := 0
+	for _, out := range outcomes {
+		if out != nil && out.finished {
+			completed++
+		}
+	}
+	res.Partial = &PartialInfo{Err: re, Completed: completed, P: cfg.P}
+	return res
 }
 
 // RunRank executes a single rank of a multi-process cluster on an existing

@@ -85,6 +85,7 @@ func havoqBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, 
 		flush(dst)
 	}
 
+	out.partialCount = state.count // coherent local-phase snapshot for degraded merges
 	sw.phase(PhaseGlobal)
 	pe.Q.Drain()
 	sw.stop()

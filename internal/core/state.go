@@ -223,6 +223,7 @@ func (s *countState) flushGhostDeltas(pe *dist.PE) {
 // after the postprocess exchange) are exported keyed by global ID.
 func (s *countState) finish(out *peOutcome) {
 	out.count = s.count
+	out.finished = true
 	out.typeCounts = [3]uint64{s.t1, s.t2, s.t3}
 	out.triangles = s.triangles
 	if s.lcc {
@@ -328,6 +329,15 @@ func mergeOutcomes(outcomes []*peOutcome, metrics []comm.Metrics, g *graph.Graph
 	}
 	phaseMetrics := make(map[string][]comm.Metrics)
 	for _, out := range outcomes {
+		if out == nil {
+			continue // PE aborted before its body allocated an outcome
+		}
+		if !out.finished {
+			// Degraded merge: the body aborted mid-run, count what its last
+			// phase-boundary snapshot had.
+			res.Count += out.partialCount
+			continue
+		}
 		res.Count += out.count
 		for i := 0; i < 3; i++ {
 			res.TypeCounts[i] += out.typeCounts[i]
@@ -348,6 +358,9 @@ func mergeOutcomes(outcomes []*peOutcome, metrics []comm.Metrics, g *graph.Graph
 	if cfg.LCC {
 		res.Deltas = make([]uint64, g.NumVertices())
 		for _, out := range outcomes {
+			if out == nil {
+				continue
+			}
 			for gid, d := range out.deltas {
 				res.Deltas[gid] = d
 			}

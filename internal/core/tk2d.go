@@ -57,15 +57,20 @@ func runTK2D(g *graph.Graph, cfg Config) (*Result, error) {
 	start := time.Now()
 	metrics, err := dist.Run(dist.Config{
 		P: cfg.P, Threshold: threshold, Network: cfg.Network,
+		CommDeadline: cfg.CommDeadline, RunTimeout: cfg.RunTimeout,
 	}, func(pe *dist.PE) error {
 		out := newPEOutcome()
 		outcomes[pe.Rank] = out
 		return tk2dBody(pe, g2, perEdges[pe.Rank], cfg, out)
 	})
+	var res *Result
 	if err != nil {
-		return nil, err
+		if res = maybePartial(err, cfg, outcomes, metrics, g); res == nil {
+			return nil, err
+		}
+	} else {
+		res = mergeOutcomes(outcomes, metrics, g, cfg)
 	}
-	res := mergeOutcomes(outcomes, metrics, g, cfg)
 	res.Wall = time.Since(start)
 	res.Phases[PhaseScatter] += scatterWall
 	res.Phases[PhasePreprocess] += scatterWall
@@ -225,5 +230,7 @@ func tk2dBody(pe *dist.PE, g2 *part.Grid2D, edges []graph.Edge, cfg Config, out 
 		out.count += workers[i].count
 		out.triangles = append(out.triangles, workers[i].tris...)
 	}
+	out.partialCount = out.count
+	out.finished = true
 	return nil
 }

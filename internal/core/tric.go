@@ -60,6 +60,7 @@ func tricBody(pe *dist.PE, pt *part.Partition, edges []graph.Edge, cfg Config, o
 		pe.C.M.PeakBuffered = buffered
 	}
 
+	out.partialCount = state.count // coherent local-phase snapshot for degraded merges
 	sw.phase(PhaseGlobal)
 	received := pe.C.DenseExchange(sendBufs)
 	for src, words := range received {

@@ -34,6 +34,113 @@ type Config struct {
 	// TCP). When nil, Run creates a ChanNetwork of size P. Run closes the
 	// network when the run ends either way: endpoints are per-run state.
 	Network transport.Network
+
+	// CommDeadline arms every PE's communication watchdog (comm.SetDeadline):
+	// a blocking primitive — the termination detector, any collective — that
+	// sees no frame for this long fails with a typed error instead of
+	// spinning forever on traffic that will never arrive. 0 disables it.
+	CommDeadline time.Duration
+	// RunTimeout bounds the whole cluster run: when it expires, the runtime
+	// raises the abort flag (every PE observes it at its next transport
+	// operation and unwinds), joins the PEs, and returns a *RunError with
+	// CauseTimeout. 0 disables it. A PE stuck outside any transport
+	// operation cannot be preempted; RunTimeout unsticks communication
+	// waits, which is where distributed runs hang.
+	RunTimeout time.Duration
+}
+
+// AbortCause classifies why a run failed, so callers can distinguish their
+// own body's error from a lost peer from a stalled cluster without parsing
+// error strings.
+type AbortCause int
+
+const (
+	// CauseBody: a body function returned an error or panicked.
+	CauseBody AbortCause = iota
+	// CausePeerLoss: the transport condemned a peer (reconnects exhausted,
+	// heartbeat silence, injected crash) and a blocking primitive surfaced
+	// it as comm.ErrPeerLost.
+	CausePeerLoss
+	// CauseWatchdog: a communication primitive exceeded Config.CommDeadline
+	// with no progress and no condemned peer to blame.
+	CauseWatchdog
+	// CauseTimeout: Config.RunTimeout expired before the cluster finished.
+	CauseTimeout
+	// CauseCorrupt: a PE received a data frame that failed envelope or codec
+	// validation (comm.CorruptFrameError) — transport integrity, not the
+	// body's fault.
+	CauseCorrupt
+)
+
+func (c AbortCause) String() string {
+	switch c {
+	case CauseBody:
+		return "body error"
+	case CausePeerLoss:
+		return "peer loss"
+	case CauseWatchdog:
+		return "watchdog"
+	case CauseTimeout:
+		return "run timeout"
+	case CauseCorrupt:
+		return "corrupt frame"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// RunError is Run's structured failure report: which rank failed first (in
+// rank order; -1 for whole-run causes like the timeout), why, and the
+// underlying error with its full Unwrap chain intact (errors.Is/As reach the
+// body's error, comm.ErrPeerLost, comm.WatchdogError, or
+// transport.PeerDownError as appropriate).
+type RunError struct {
+	Cause AbortCause
+	Rank  int
+	Err   error
+}
+
+func (e *RunError) Error() string {
+	if e.Rank < 0 {
+		return fmt.Sprintf("dist: aborted (%s): %v", e.Cause, e.Err)
+	}
+	return fmt.Sprintf("dist: PE %d aborted (%s): %v", e.Rank, e.Cause, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// causePriority orders causes by how much they explain: a condemned peer is
+// the root cause behind any watchdog noise the other ranks produced.
+func causePriority(c AbortCause) int {
+	switch c {
+	case CausePeerLoss:
+		return 0
+	case CauseCorrupt:
+		return 1
+	case CauseBody:
+		return 2
+	case CauseWatchdog:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// classify maps a recovered PE error to its abort cause.
+func classify(err error) AbortCause {
+	var pl *comm.ErrPeerLost
+	if errors.As(err, &pl) {
+		return CausePeerLoss
+	}
+	var cf *comm.CorruptFrameError
+	if errors.As(err, &cf) {
+		return CauseCorrupt
+	}
+	var wd *comm.WatchdogError
+	if errors.As(err, &wd) {
+		return CauseWatchdog
+	}
+	return CauseBody
 }
 
 // PE is one processing element's view of the cluster: its rank, the cluster
@@ -99,6 +206,16 @@ func (e abortableEndpoint) Recv() (transport.Frame, bool) {
 	return e.Endpoint.Recv()
 }
 
+// Health forwards the inner endpoint's peer-health verdict (the embedded
+// interface does not promote optional extensions), so comm's watchdog can
+// attribute a stall to a condemned peer on any wrapped transport.
+func (e abortableEndpoint) Health() error {
+	if h, ok := e.Endpoint.(transport.HealthReporter); ok {
+		return h.Health()
+	}
+	return nil
+}
+
 // Run executes body on P goroutine PEs connected by cfg.Network (an
 // in-process channel network by default) and returns each PE's communication
 // metrics, indexed by rank.
@@ -133,6 +250,12 @@ func Run(cfg Config, body func(*PE) error) ([]comm.Metrics, error) {
 		pes[r] = Attach(abortableEndpoint{Endpoint: ep, aborted: &aborted}, cfg.Threshold, cfg.Indirect)
 	}
 
+	if cfg.CommDeadline > 0 {
+		for _, pe := range pes {
+			pe.C.SetDeadline(cfg.CommDeadline)
+		}
+	}
+
 	errs := make([]error, cfg.P)
 	var wg sync.WaitGroup
 	for r := 0; r < cfg.P; r++ {
@@ -145,25 +268,52 @@ func Run(cfg Config, body func(*PE) error) ([]comm.Metrics, error) {
 					return
 				}
 				aborted.Store(true)
-				if err, ok := rec.(error); ok && errors.Is(err, errAborted) {
-					errs[r] = errAborted
+				if err, ok := rec.(error); ok {
+					if errors.Is(err, errAborted) {
+						errs[r] = errAborted
+						return
+					}
+					// Typed panics from the communication layer (peer loss,
+					// watchdog, corrupt frame) keep their identity so the
+					// final RunError can attribute the abort.
+					errs[r] = err
 					return
 				}
-				errs[r] = fmt.Errorf("dist: PE %d panicked: %v\n%s", r, rec, debug.Stack())
+				errs[r] = fmt.Errorf("panic: %v\n%s", rec, debug.Stack())
 			}()
 			if err := body(pes[r]); err != nil {
-				errs[r] = fmt.Errorf("dist: PE %d: %w", r, err)
+				errs[r] = err
 				aborted.Store(true)
 			}
 		}(r)
 	}
-	wg.Wait()
 
-	// First real error in rank order; abort echoes only matter when no PE
-	// reported a cause (a body panicked with errAborted itself — still an
-	// error, just a less informative one).
-	var firstAbort error
-	for _, err := range errs {
+	// Join, under the whole-run watchdog when configured: on expiry the
+	// abort flag unsticks every PE blocked in a transport operation, then
+	// the join completes and the timeout is reported as the cause.
+	timedOut := false
+	if cfg.RunTimeout > 0 {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(cfg.RunTimeout):
+			timedOut = true
+			aborted.Store(true)
+			<-done
+		}
+	} else {
+		wg.Wait()
+	}
+
+	// Pick the most informative error: peer loss beats a body error beats a
+	// watchdog report (a condemned peer explains why everyone else's
+	// watchdog fired; the reverse explains nothing), rank order breaks ties.
+	// Abort echoes only matter when no PE reported a cause (a body panicked
+	// with errAborted itself — still an error, just a less informative one).
+	var firstAbort, best error
+	bestRank := -1
+	for r, err := range errs {
 		if err == nil {
 			continue
 		}
@@ -173,7 +323,16 @@ func Run(cfg Config, body func(*PE) error) ([]comm.Metrics, error) {
 			}
 			continue
 		}
-		return nil, err
+		if best == nil || causePriority(classify(err)) < causePriority(classify(best)) {
+			best, bestRank = err, r
+		}
+	}
+	if best != nil {
+		return nil, &RunError{Cause: classify(best), Rank: bestRank, Err: best}
+	}
+	if timedOut {
+		return nil, &RunError{Cause: CauseTimeout, Rank: -1,
+			Err: fmt.Errorf("cluster did not finish within %v", cfg.RunTimeout)}
 	}
 	if firstAbort != nil {
 		return nil, firstAbort

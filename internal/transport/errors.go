@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PeerDownError reports that a peer rank is unreachable: every reconnect
+// attempt failed, its heartbeat went silent past the timeout, or a fault
+// injector declared it dead. It is the transport's terminal per-peer error —
+// once an endpoint returns it for a rank, no later operation to that rank
+// will succeed, and the layers above (comm's watchdog, dist's runtime) use it
+// to attribute an aborted run to peer loss instead of a generic stall.
+type PeerDownError struct {
+	Rank   int
+	Reason string // human-readable cause: "write failed after N reconnect attempts", "heartbeat timeout", ...
+	Err    error  // underlying error, if any
+}
+
+func (e *PeerDownError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("transport: peer %d down: %s: %v", e.Rank, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("transport: peer %d down: %s", e.Rank, e.Reason)
+}
+
+func (e *PeerDownError) Unwrap() error { return e.Err }
+
+// HealthReporter is an optional Endpoint extension. Transports that can
+// detect dead peers (TCP via failed reconnects and heartbeat timeouts, the
+// chaos injector via scripted crashes and partitions) report the first known
+// failure here; pollers — in particular comm's termination-detector watchdog
+// — check it to turn an indefinite wait into an attributed *PeerDownError
+// instead of spinning on frames that will never arrive.
+type HealthReporter interface {
+	// Health returns nil while all peers look reachable, or the error that
+	// condemned the first peer marked dead.
+	Health() error
+}
+
+// FaultStats counts transport-level failure events on one endpoint. All
+// fields are cumulative; they exist so tests and operators can see faults
+// that the transport absorbed (reconnects) as well as ones it surfaced.
+type FaultStats struct {
+	CorruptFrames int64 // frames rejected by the CRC trailer or length sanity checks
+	BadHandshakes int64 // inbound connections rejected during handshake validation
+	WriteTimeouts int64 // writes that hit the per-write deadline
+	Reconnects    int64 // successful reconnect-with-backoff recoveries
+	PeersDown     int64 // peers marked dead (terminal)
+	HeartbeatLoss int64 // peers condemned specifically by heartbeat silence
+}
+
+// faultCounters is the atomic backing store for FaultStats.
+type faultCounters struct {
+	corruptFrames atomic.Int64
+	badHandshakes atomic.Int64
+	writeTimeouts atomic.Int64
+	reconnects    atomic.Int64
+	peersDown     atomic.Int64
+	heartbeatLoss atomic.Int64
+}
+
+func (f *faultCounters) snapshot() FaultStats {
+	return FaultStats{
+		CorruptFrames: f.corruptFrames.Load(),
+		BadHandshakes: f.badHandshakes.Load(),
+		WriteTimeouts: f.writeTimeouts.Load(),
+		Reconnects:    f.reconnects.Load(),
+		PeersDown:     f.peersDown.Load(),
+		HeartbeatLoss: f.heartbeatLoss.Load(),
+	}
+}
+
+// FaultReporter is an optional Endpoint extension exposing fault counters.
+type FaultReporter interface {
+	Faults() FaultStats
+}
