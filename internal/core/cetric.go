@@ -46,22 +46,25 @@ func cetricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Confi
 	// A-lists. cut is assigned in the contraction phase, strictly before any
 	// chNeigh record can be dispatched: dispatch only happens inside this
 	// PE's Poll/Drain calls, the first of which is in its own global phase.
+	// plc follows the same ordering argument (assigned right after cut,
+	// before the first possible dispatch — the hub-ship drain).
 	var cut *graph.LocalOriented
+	var plc *placeRun
 	// Hybrid mode funnels receive-side intersections to a worker pool; the
 	// pool resolves cut lazily (it is assigned in the contraction phase,
 	// strictly before the first task can be dispatched).
 	var pool *recvPool
 	if cfg.Threads > 1 {
-		pool = newRecvPool(cfg.Threads, lg, cfg, func() *graph.LocalOriented { return cut })
+		pool = newRecvPool(cfg.Threads, lg, cfg, func() *graph.LocalOriented { return cut }, func() *placeRun { return plc })
 	}
 	pe.Q.Handle(chNeigh, func(src int, words []uint64) {
 		v := words[0]
 		list := words[1:]
 		if pool != nil {
-			pool.submit(v, list, pe.Q.PinPayload())
+			pool.submit(src, v, list, pe.Q.PinPayload())
 			return
 		}
-		state.t3 += state.recvNeigh(v, list, cut)
+		state.t3 += state.recvNeighAt(src, v, list, cut, plc)
 	})
 	pe.Q.Handle(chNeighEdge, func(src int, words []uint64) {
 		state.t3 += state.recvNeighEdge(words[0], words[1], words[2:], cut)
@@ -81,10 +84,21 @@ func cetricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Confi
 	cut = ori.ContractPar(cfg.Threads)
 	cut.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
 
+	// Placement over the cut graph: the global phase ships and intersects
+	// contracted A-lists, so nomination weights and stored tables model
+	// exactly those. The Gather inside synchronizes all PEs past their
+	// contraction before any hub ships.
+	plc = computePlacement(pe, lg, cut, cfg)
+	if plc != nil {
+		pe.Q.Handle(chHubShip, plc.handleShip)
+		sw.phase(PhasePlace)
+		plc.ship(pe, cut)
+	}
+
 	sw.phase(PhaseGlobal)
 	// Cut neighborhoods go out as (v, A(v)...) records with A(v) ID-sorted —
 	// the shape the chNeigh delta-varint codec compresses best.
-	cetricGlobalRows(pe, pt, lg, cut, 0, lg.NLocal(), nil, cfg.NoSurrogate)
+	cetricGlobalRows(pe, pt, lg, cut, state, 0, lg.NLocal(), nil, cfg.NoSurrogate, plc)
 	pe.Q.Drain()
 	if pool != nil {
 		poolState := newCountState(lg, cfg)

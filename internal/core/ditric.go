@@ -31,6 +31,11 @@ func ditricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Confi
 	ori := graph.OrientLocalOnlyPar(lg, cfg.Threads)
 	ori.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
 	sw.phase(PhasePreprocess) // residual: handler setup + the barrier
+	// Cost-driven hub placement: nominate heavy local rows, solve the LPT at
+	// rank 0, broadcast. The Gather inside synchronizes the cluster past the
+	// degree exchange, so the hub shipment below can never race a PE still
+	// draining degree traffic. nil when disabled or nothing moves.
+	plc := computePlacement(pe, lg, ori, cfg)
 	state := newCountState(lg, cfg)
 
 	// Overlapped pipeline (pipeline.go): no barrier between local and
@@ -38,7 +43,7 @@ func ditricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Confi
 	// chunk-stealing workers drain received records concurrently with
 	// residual local rows.
 	if cfg.Overlap {
-		ditricOverlap(pe, pt, lg, ori, state, cfg, sw)
+		ditricOverlap(pe, pt, lg, ori, state, cfg, sw, plc)
 		finishBody(pe, sw, state, cfg, out)
 		return nil
 	}
@@ -50,28 +55,37 @@ func ditricFrom(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cfg Confi
 	// has consumed the list.
 	var pool *recvPool
 	if cfg.Threads > 1 {
-		pool = newRecvPool(cfg.Threads, lg, cfg, func() *graph.LocalOriented { return ori })
+		pool = newRecvPool(cfg.Threads, lg, cfg, func() *graph.LocalOriented { return ori }, func() *placeRun { return plc })
 	}
 	pe.Q.Handle(chNeigh, func(src int, words []uint64) {
 		v := words[0]
 		list := words[1:]
 		if pool != nil {
-			pool.submit(v, list, pe.Q.PinPayload())
+			pool.submit(src, v, list, pe.Q.PinPayload())
 			return
 		}
-		state.recvNeigh(v, list, ori)
+		state.recvNeighAt(src, v, list, ori, plc)
 	})
 	pe.Q.Handle(chNeighEdge, func(src int, words []uint64) {
 		state.recvNeighEdge(words[0], words[1], words[2:], ori)
 	})
 	pe.Q.Handle(chDelta, state.handleDelta)
+	if plc != nil {
+		// Ship moved hubs' neighborhoods to their surrogates; the collective
+		// drain inside guarantees every stored-hub table is complete before
+		// any counting record flows.
+		pe.Q.Handle(chHubShip, plc.handleShip)
+		sw.phase(PhasePlace)
+		plc.ship(pe, ori)
+		sw.phase(PhasePreprocess)
+	}
 	pe.C.Barrier() // everyone finished preprocessing; handlers are live
 
 	sw.phase(PhaseLocal)
 	if cfg.Threads > 1 {
-		hybridDitricLocal(pe, lg, ori, state, cfg)
+		hybridDitricLocal(pe, lg, ori, state, cfg, plc)
 	} else {
-		ditricLocalRows(pe, pt, lg, ori, state, 0, lg.NLocal(), nil, cfg.NoSurrogate)
+		ditricLocalRows(pe, pt, lg, ori, state, 0, lg.NLocal(), nil, cfg.NoSurrogate, plc)
 	}
 
 	out.partialCount = state.count // coherent local-phase snapshot for degraded merges
@@ -95,5 +109,8 @@ func finishBody(pe *dist.PE, sw *stopwatch, state *countState, cfg Config, out *
 		pe.Q.Drain()
 	}
 	sw.stop()
+	// Export the deterministic receive-side work meter (the per-PE load the
+	// placement overlay balances) through the rank's Metrics.
+	pe.C.M.RecvWorkWords += int64(state.recvWork)
 	state.finish(out)
 }

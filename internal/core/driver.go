@@ -22,10 +22,13 @@ func Run(algo Algorithm, g *graph.Graph, cfg Config) (*Result, error) {
 	if cfg.P <= 0 {
 		return nil, fmt.Errorf("core: config needs P > 0")
 	}
-	if cfg.Profile != "" {
+	if cfg.Profile != "" && cfg.Profile != costmodel.MeasuredName {
 		if _, err := costmodel.ByName(cfg.Profile); err != nil {
 			return nil, err
 		}
+	}
+	if !validPlacement(cfg.Placement) {
+		return nil, fmt.Errorf("core: unknown placement policy %q (want auto, static, or off)", cfg.Placement)
 	}
 	if algo == AlgoTK2D {
 		// The 2D geometry has its own scatter and partition math; it shares
@@ -129,6 +132,9 @@ func maybePartial(err error, cfg Config, outcomes []*peOutcome, metrics []comm.M
 func RunRank(algo Algorithm, g *graph.Graph, cfg Config, ep transport.Endpoint) (uint64, comm.Metrics, error) {
 	cfg = cfg.withDefaults()
 	cfg.P = ep.Size()
+	if !validPlacement(cfg.Placement) {
+		return 0, comm.Metrics{}, fmt.Errorf("core: unknown placement policy %q (want auto, static, or off)", cfg.Placement)
+	}
 	if algo == AlgoTK2D {
 		return runRankTK2D(g, cfg, ep)
 	}

@@ -82,7 +82,7 @@ func getPayload(capHint int) *[]uint64 {
 // and forward remote shipments to the main goroutine, which owns the queue
 // (and therefore also executes all receive-side intersections — the
 // funneled-communication bottleneck of Fig. 8).
-func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOriented, state *countState, cfg Config) {
+func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOriented, state *countState, cfg Config, plc *placeRun) {
 	pt := lg.Part
 	nLocal := lg.NLocal()
 	var next atomic.Int64
@@ -104,7 +104,7 @@ func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOrient
 				if hi > nLocal {
 					hi = nLocal
 				}
-				ditricLocalRows(pe, pt, lg, ori, ws, lo, hi, sends, cfg.NoSurrogate)
+				ditricLocalRows(pe, pt, lg, ori, ws, lo, hi, sends, cfg.NoSurrogate, plc)
 			}
 		}()
 	}
@@ -121,38 +121,112 @@ func hybridDitricLocal(pe *dist.PE, lg *graph.LocalGraph, ori *graph.LocalOrient
 	}
 }
 
-// newShipper returns the shipment emitter shared by the row sweeps
-// (ditricLocalRows, cetricGlobalRows): with a funnel (sends != nil) each
-// record checks a buffer out of payloadPool and the funnel returns it after
-// Queue.Send has copied; without one, a single buffer captured in the
-// closure is reused directly because Queue.Send copies synchronously.
-func newShipper(pe *dist.PE, sends chan<- hybridSend) func(ch, dst int, head, av []uint64) {
-	var buf []uint64 // reused across shipments on the sends == nil path
-	return func(ch, dst int, head, av []uint64) {
-		if sends != nil {
-			bp := getPayload(len(head) + len(av))
-			*bp = append(append(*bp, head...), av...)
-			sends <- hybridSend{dst: dst, payload: bp, ch: ch}
-			return
-		}
-		buf = append(append(buf[:0], head...), av...)
-		pe.Q.Send(ch, dst, buf)
+// shipper emits the row sweeps' shipments (ditricLocalRows,
+// cetricGlobalRows): with a funnel (sends != nil) each record checks a
+// buffer out of payloadPool and the funnel returns it after Queue.Send has
+// copied; without one, a buffer owned by the shipper is reused directly
+// because Queue.Send copies synchronously. It also owns the per-row
+// destination-dedup scratch: owner-driven delivery visits destinations in
+// ascending order (av is ID-sorted, ranks own contiguous ranges) so a
+// last-rank check suffices, but the placement overlay makes effective
+// destinations non-monotone, so placed sweeps dedup with an epoch-stamped
+// per-PE array instead. Shippers recycle through shipperPool so the
+// steady-state sweep allocates nothing.
+type shipper struct {
+	pe    *dist.PE
+	sends chan<- hybridSend
+	buf   []uint64 // reused across shipments on the sends == nil path
+	stamp []int64  // stamp[dst] == epoch ⇔ dst already shipped this row
+	epoch int64
+}
+
+var shipperPool = sync.Pool{New: func() any { return new(shipper) }}
+
+func getShipper(pe *dist.PE, sends chan<- hybridSend) *shipper {
+	sh := shipperPool.Get().(*shipper)
+	sh.pe, sh.sends = pe, sends
+	if len(sh.stamp) < pe.P {
+		sh.stamp = make([]int64, pe.P)
+		sh.epoch = 0
 	}
+	return sh
+}
+
+func (sh *shipper) put() {
+	sh.pe, sh.sends = nil, nil
+	shipperPool.Put(sh)
+}
+
+func (sh *shipper) ship(ch, dst int, head, av []uint64) {
+	if sh.sends != nil {
+		bp := getPayload(len(head) + len(av))
+		*bp = append(append(*bp, head...), av...)
+		sh.sends <- hybridSend{dst: dst, payload: bp, ch: ch}
+		return
+	}
+	sh.buf = append(append(sh.buf[:0], head...), av...)
+	sh.pe.Q.Send(ch, dst, sh.buf)
+}
+
+// nextRow opens a new row's dedup epoch (epochs start at 1, so zeroed
+// stamps never spuriously match).
+func (sh *shipper) nextRow() { sh.epoch++ }
+
+// firstVisit reports whether dst has not been shipped to yet this row, and
+// marks it.
+func (sh *shipper) firstVisit(dst int) bool {
+	if sh.stamp[dst] == sh.epoch {
+		return false
+	}
+	sh.stamp[dst] = sh.epoch
+	return true
 }
 
 // ditricLocalRows processes local rows [lo,hi): local-local wedges are
 // intersected in place through the adaptive row-space pair kernels, remote
-// shipments go through the shipper (funneled or direct, see newShipper).
+// shipments go through the shipper (funneled or direct). With a placement
+// overlay, each cut edge resolves to its effective destination (the hub's
+// surrogate when moved, the owner otherwise); a surrogate that turns out to
+// be this very PE gets its stored-table intersection inline instead of a
+// self-send — the locals in av were already counted above, so the full
+// receive path would double count them.
 func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
-	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool) {
+	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool, plc *placeRun) {
 	first := lg.First
 	var hdr [2]uint64 // record header scratch, reused across shipments
-	ship := newShipper(pe, sends)
+	sh := getShipper(pe, sends)
+	defer sh.put()
 	for r := lo; r < hi; r++ {
 		rv := int32(r)
 		v := lg.GID(rv)
 		av := ori.Out(rv)
 		avRows := ori.OutRows(rv)
+		if plc != nil && !noSurrogate {
+			sh.nextRow()
+			for _, u := range av {
+				if lg.IsLocal(u) {
+					state.countWedgeRows(avRows, rv, int32(u-first), ori)
+					continue
+				}
+				if len(av) < 2 {
+					continue
+				}
+				j := plc.redirect(pt.Rank(u), u)
+				if j < 0 {
+					continue // dead endpoint: empty list can't complete a triangle
+				}
+				if !sh.firstVisit(j) {
+					continue
+				}
+				if j == pe.Rank {
+					state.surrogateScan(pe.Rank, v, av, plc)
+					continue
+				}
+				hdr[0] = v
+				sh.ship(chNeigh, j, hdr[:1], av)
+			}
+			continue
+		}
 		lastRank := -1
 		for _, u := range av {
 			if lg.IsLocal(u) {
@@ -166,14 +240,14 @@ func ditricLocalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori 
 				// Ablation: one per-edge record per cut edge (Algorithm 2
 				// without Arifuzzaman's dedup).
 				hdr[0], hdr[1] = v, u
-				ship(chNeighEdge, pt.Rank(u), hdr[:2], av)
+				sh.ship(chNeighEdge, pt.Rank(u), hdr[:2], av)
 				continue
 			}
 			// Surrogate dedup: av is ID-sorted and ranks own contiguous
 			// ranges, so equal destinations are adjacent.
 			if j := pt.Rank(u); j != lastRank {
 				hdr[0] = v
-				ship(chNeigh, j, hdr[:1], av)
+				sh.ship(chNeigh, j, hdr[:1], av)
 				lastRank = j
 			}
 		}
@@ -186,9 +260,16 @@ func (s *countState) merge(w *countState) {
 	s.t1 += w.t1
 	s.t2 += w.t2
 	s.t3 += w.t3
+	s.recvWork += w.recvWork
 	if s.lcc {
 		for i, d := range w.deltaRows {
 			s.deltaRows[i] += d
+		}
+		for gid, d := range w.side {
+			if s.side == nil {
+				s.side = make(map[graph.Vertex]uint64)
+			}
+			s.side[gid] += d
 		}
 	}
 	s.triangles = append(s.triangles, w.triangles...)
@@ -208,6 +289,7 @@ type recvPool struct {
 type recvTask struct {
 	v       graph.Vertex
 	list    []uint64
+	src     int    // sender rank (placement: skips its co-located stored hubs)
 	release func() // unpins the decode arena the list aliases; may be nil
 }
 
@@ -218,7 +300,7 @@ type recvTask struct {
 // submitting handler pins the arena (Queue.PinPayload) and the worker
 // releases it once the list has been row-translated and counted, so no
 // copies are needed and the arena recycles without allocation.
-func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *graph.LocalOriented) *recvPool {
+func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *graph.LocalOriented, place func() *placeRun) *recvPool {
 	rp := &recvPool{tasks: make(chan recvTask, 8*threads)}
 	for t := 0; t < threads; t++ {
 		ws := newCountState(lg, cfg)
@@ -227,7 +309,7 @@ func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *grap
 		go func() {
 			defer rp.wg.Done()
 			for task := range rp.tasks {
-				ws.recvNeigh(task.v, task.list, out())
+				ws.recvNeighAt(task.src, task.v, task.list, out(), place())
 				if task.release != nil {
 					task.release()
 				}
@@ -240,8 +322,8 @@ func newRecvPool(threads int, lg *graph.LocalGraph, cfg Config, out func() *grap
 // submit enqueues one received neighborhood (blocks when workers lag —
 // exactly the backpressure a funneled comm thread experiences). release is
 // called once the worker is done with list.
-func (rp *recvPool) submit(v graph.Vertex, list []uint64, release func()) {
-	rp.tasks <- recvTask{v: v, list: list, release: release}
+func (rp *recvPool) submit(src int, v graph.Vertex, list []uint64, release func()) {
+	rp.tasks <- recvTask{v: v, list: list, src: src, release: release}
 }
 
 // drain closes the pool, waits for the workers, and merges their counters.

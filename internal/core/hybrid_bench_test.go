@@ -30,7 +30,7 @@ func BenchmarkHybridRecvSteadyState(b *testing.B) {
 	ori.BuildHubs(graph.DefaultHubMinDegree)
 
 	cfg := Config{P: p}
-	pool := newRecvPool(2, lg, cfg, func() *graph.LocalOriented { return ori })
+	pool := newRecvPool(2, lg, cfg, func() *graph.LocalOriented { return ori }, func() *placeRun { return nil })
 
 	// Replayed shipments: (v, A(v)) records in DITRIC's wire shape, with v a
 	// ghost of this PE and the list a sorted mix of local and remote IDs —
@@ -57,7 +57,7 @@ func BenchmarkHybridRecvSteadyState(b *testing.B) {
 	var sent int64
 	round := func() {
 		for _, rc := range recs {
-			pool.submit(rc.v, rc.list, release)
+			pool.submit(1, rc.v, rc.list, release)
 		}
 		sent += int64(len(recs))
 		for done.Load() < sent {

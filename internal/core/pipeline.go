@@ -94,6 +94,7 @@ type recvRecord struct {
 	v, u    graph.Vertex // u is meaningful only for edge records
 	list    []uint64
 	release func()
+	src     int  // sender rank (placement: skips its co-located stored hubs)
 	edge    bool // chNeighEdge shipment (no-surrogate ablation)
 }
 
@@ -227,11 +228,11 @@ func (op *overlapPipeline) installHandlers() {
 		r.release = pe.Q.PinPayload()
 		op.dq.push(r)
 	}
-	pe.Q.Handle(chNeigh, func(_ int, words []uint64) {
-		park(recvRecord{v: words[0], list: words[1:]})
+	pe.Q.Handle(chNeigh, func(src int, words []uint64) {
+		park(recvRecord{v: words[0], list: words[1:], src: src})
 	})
-	pe.Q.Handle(chNeighEdge, func(_ int, words []uint64) {
-		park(recvRecord{v: words[0], u: words[1], list: words[2:], edge: true})
+	pe.Q.Handle(chNeighEdge, func(src int, words []uint64) {
+		park(recvRecord{v: words[0], u: words[1], list: words[2:], src: src, edge: true})
 	})
 }
 
@@ -249,8 +250,13 @@ type overlapPipeline struct {
 	threads int
 
 	// flushWords is the eager-flush watermark: overlapFlushWords clamped
-	// below the queue's δ (overlapWatermark), resolved once per run.
+	// below the queue's δ (overlapWatermark), resolved once per run — except
+	// under -profile=measured, where maybeRecalibrate re-fits it from the
+	// live α/β estimate as samples accumulate.
 	flushWords int
+	// measured marks a -profile=measured run; recalTick spaces the re-fits.
+	measured bool
+	recalTick int
 
 	workers   []*countState  // private per-worker states (threads > 1)
 	scratches [][]recvRecord // per-worker steal scratch
@@ -265,6 +271,7 @@ func newOverlapPipeline(pe *dist.PE, sw *stopwatch, lg *graph.LocalGraph, cfg Co
 		pe: pe, sw: sw, state: state, dq: newStealDeque(), fn: fn,
 		threads:    cfg.Threads,
 		flushWords: overlapWatermark(pe.Q.Threshold(), cfg.Profile),
+		measured:   cfg.Profile == costmodel.MeasuredName,
 		fscratch:   make([]recvRecord, dequeBatch),
 	}
 	if cfg.Threads > 1 {
@@ -276,6 +283,32 @@ func newOverlapPipeline(pe *dist.PE, sw *stopwatch, lg *graph.LocalGraph, cfg Co
 		}
 	}
 	return op
+}
+
+// maybeRecalibrate re-fits the eager-flush watermark from the live α/β
+// estimate under -profile=measured. The static profile tables guess the
+// break-even frame size; the measured profile recovers it from this run's
+// own frame-latency samples (costmodel.Calibrate over pe.C.M), so the
+// watermark tracks the transport actually underneath. Called only from the
+// goroutine that owns flushWords — stageSeq's single timeline or the
+// stagePar funnel, which are also the only writers of pe.C.M's latency
+// sums — every 64 flush checks, with the same δ/2 clamp as
+// overlapWatermark.
+func (op *overlapPipeline) maybeRecalibrate() {
+	if !op.measured {
+		return
+	}
+	op.recalTick++
+	if op.recalTick&63 != 0 {
+		return
+	}
+	if p, ok := costmodel.Calibrate(op.pe.C.M); ok {
+		wm := p.FlushWatermark()
+		if half := op.pe.Q.Threshold() / 2; half < wm {
+			wm = half
+		}
+		op.flushWords = max(wm, 1)
+	}
 }
 
 // stage runs one emission stage over rows [0, rows) under the named
@@ -310,6 +343,7 @@ func (op *overlapPipeline) stageSeq(phase string, rows int, canSteal bool,
 			continue
 		}
 		pe.Q.FlushIfOver(op.flushWords)
+		op.maybeRecalibrate()
 		op.sw.phase(PhaseGlobalRecv)
 		t0 := time.Now()
 		did := pe.Q.Poll()
@@ -383,6 +417,7 @@ func (op *overlapPipeline) stagePar(rows int, canSteal bool,
 			pe.Q.Send(s.ch, s.dst, *s.payload)
 			payloadPool.Put(s.payload)
 			pe.Q.FlushIfOver(op.flushWords)
+			op.maybeRecalibrate()
 		}
 		return
 	}
@@ -395,6 +430,7 @@ func (op *overlapPipeline) stagePar(rows int, canSteal bool,
 			pe.Q.Send(s.ch, s.dst, *s.payload)
 			payloadPool.Put(s.payload)
 			pe.Q.FlushIfOver(op.flushWords)
+			op.maybeRecalibrate()
 		default:
 			// No shipment pending: ingest incoming frames (handlers park
 			// records on the deque) unless the decoded backlog is past the
@@ -457,20 +493,28 @@ func (op *overlapPipeline) finish() {
 // enabled from the start — the receiver structure is the already-built
 // oriented graph), then finish.
 func ditricOverlap(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
-	state *countState, cfg Config, sw *stopwatch) {
+	state *countState, cfg Config, sw *stopwatch, plc *placeRun) {
 	fn := func(ws *countState, r recvRecord) {
 		if r.edge {
 			ws.recvNeighEdge(r.v, r.u, r.list, ori)
 			return
 		}
-		ws.recvNeigh(r.v, r.list, ori)
+		ws.recvNeighAt(r.src, r.v, r.list, ori, plc)
 	}
 	op := newOverlapPipeline(pe, sw, lg, cfg, state, fn)
 	op.installHandlers()
 	pe.Q.Handle(chDelta, state.handleDelta)
+	if plc != nil {
+		// Hub shipment: surrogate tables are complete cluster-wide before
+		// any PE can emit counting records (the drain inside ship is
+		// collective), so the placed receive path below never races it.
+		pe.Q.Handle(chHubShip, plc.handleShip)
+		sw.phase(PhasePlace)
+		plc.ship(pe, ori)
+	}
 	pe.C.Barrier() // handlers are live on every PE before any eager flush
 	op.stage(PhaseLocal, lg.NLocal(), true, func(ws *countState, lo, hi int, sends chan<- hybridSend) {
-		ditricLocalRows(pe, pt, lg, ori, ws, lo, hi, sends, cfg.NoSurrogate)
+		ditricLocalRows(pe, pt, lg, ori, ws, lo, hi, sends, cfg.NoSurrogate, plc)
 	})
 	op.finish()
 }
@@ -486,12 +530,13 @@ func ditricOverlap(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *g
 func cetricOverlap(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *graph.LocalOriented,
 	state *countState, cfg Config, sw *stopwatch) {
 	var cut *graph.LocalOriented // assigned after the local stage, before any steal
+	var plc *placeRun            // assigned with cut, same ordering argument
 	fn := func(ws *countState, r recvRecord) {
 		if r.edge {
 			ws.t3 += ws.recvNeighEdge(r.v, r.u, r.list, cut)
 			return
 		}
-		ws.t3 += ws.recvNeigh(r.v, r.list, cut)
+		ws.t3 += ws.recvNeighAt(r.src, r.v, r.list, cut, plc)
 	}
 	op := newOverlapPipeline(pe, sw, lg, cfg, state, fn)
 	op.installHandlers()
@@ -503,8 +548,17 @@ func cetricOverlap(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *g
 	sw.phase(PhaseContraction)
 	cut = ori.ContractPar(cfg.Threads)
 	cut.BuildHubsPar(cfg.hubMinDegree(), cfg.Threads)
+	// Placement over the *cut* graph: CETRIC's global phase ships and
+	// intersects contracted A-lists, so the nomination weights and the
+	// stored-hub tables must model exactly those.
+	plc = computePlacement(pe, lg, cut, cfg)
+	if plc != nil {
+		pe.Q.Handle(chHubShip, plc.handleShip)
+		sw.phase(PhasePlace)
+		plc.ship(pe, cut)
+	}
 	op.stage(PhaseGlobal, lg.NLocal(), true, func(ws *countState, lo, hi int, sends chan<- hybridSend) {
-		cetricGlobalRows(pe, pt, lg, cut, lo, hi, sends, cfg.NoSurrogate)
+		cetricGlobalRows(pe, pt, lg, cut, ws, lo, hi, sends, cfg.NoSurrogate, plc)
 	})
 	op.finish()
 }
@@ -513,28 +567,51 @@ func cetricOverlap(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, ori *g
 // [lo,hi): (v, A(v)...) records with the surrogate dedup, or per-edge
 // (v, u, A(v)...) records under the no-surrogate ablation. Shipments go
 // through sends (funneled) or directly to the queue when sends is nil —
-// the same contract as ditricLocalRows.
+// the same contract as ditricLocalRows. With a placement overlay each cut
+// edge resolves to its effective destination; a moved hub whose surrogate
+// is this PE is intersected inline against the stored table (every u in a
+// cut A-list is remote, so there is no local pass to double count).
 func cetricGlobalRows(pe *dist.PE, pt *part.Partition, lg *graph.LocalGraph, cut *graph.LocalOriented,
-	lo, hi int, sends chan<- hybridSend, noSurrogate bool) {
+	state *countState, lo, hi int, sends chan<- hybridSend, noSurrogate bool, plc *placeRun) {
 	var hdr [2]uint64 // record header scratch
-	ship := newShipper(pe, sends)
+	sh := getShipper(pe, sends)
+	defer sh.put()
 	for r := lo; r < hi; r++ {
 		v := lg.GID(int32(r))
 		av := cut.Out(int32(r))
 		if len(av) < 2 {
 			continue
 		}
+		if plc != nil && !noSurrogate {
+			sh.nextRow()
+			for _, u := range av {
+				j := plc.redirect(pt.Rank(u), u)
+				if j < 0 {
+					continue // dead endpoint: empty list can't complete a triangle
+				}
+				if !sh.firstVisit(j) {
+					continue
+				}
+				if j == pe.Rank {
+					state.t3 += state.surrogateScan(pe.Rank, v, av, plc)
+					continue
+				}
+				hdr[0] = v
+				sh.ship(chNeigh, j, hdr[:1], av)
+			}
+			continue
+		}
 		lastRank := -1
 		for _, u := range av {
 			if noSurrogate {
 				hdr[0], hdr[1] = v, u
-				ship(chNeighEdge, pt.Rank(u), hdr[:2], av)
+				sh.ship(chNeighEdge, pt.Rank(u), hdr[:2], av)
 				continue
 			}
 			// Surrogate dedup: av is ID-sorted, ranks are contiguous.
 			if j := pt.Rank(u); j != lastRank {
 				hdr[0] = v
-				ship(chNeigh, j, hdr[:1], av)
+				sh.ship(chNeigh, j, hdr[:1], av)
 				lastRank = j
 			}
 		}

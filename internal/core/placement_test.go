@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/testgraph"
+)
+
+// placementConfig is the knob set the equivalence suite runs under: a hub
+// threshold of 2 drags the nomination floor down so even the tiny fixtures
+// produce nomination candidates, exercising the placed ship/receive paths
+// instead of short-circuiting to plc == nil.
+func placementConfig(p int, placement string, overlap bool) Config {
+	return Config{P: p, HubThreshold: 2, Placement: placement, Overlap: overlap}
+}
+
+// withCheapMoves prices hub moves as nearly free for the duration of the
+// test: under honest cloud α/β a tiny fixture's hubs never pay the 50µs
+// startup of a move, so the solver would (correctly) leave everything home
+// and the placed code paths would go untested.
+func withCheapMoves(t *testing.T) {
+	t.Helper()
+	placementTestProfile = &costmodel.Profile{Name: "test", Alpha: 1e-9, Beta: 1e-9}
+	t.Cleanup(func() { placementTestProfile = nil })
+}
+
+// TestPlacementEquivalence pins the overlay's core invariant: the placement
+// never changes any count. Every fixture × algorithm × P × placement ×
+// overlap combination must land exactly on the fixture's known triangle
+// count — the off runs double as the owner-driven control.
+func TestPlacementEquivalence(t *testing.T) {
+	withCheapMoves(t)
+	for _, fix := range testgraph.All {
+		name, g, want := fix.Name, fix.Build(), fix.Triangles
+		for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+			for _, p := range []int{1, 2, 4, 8} {
+				for _, placement := range []string{PlacementAuto, PlacementOff} {
+					for _, overlap := range []bool{false, true} {
+						t.Run(fmt.Sprintf("%s/%s/p=%d/%s/overlap=%v", algo, name, p, placement, overlap), func(t *testing.T) {
+							res, err := Run(algo, g, placementConfig(p, placement, overlap))
+							if err != nil {
+								t.Fatal(err)
+							}
+							if res.Count != want {
+								t.Fatalf("%s on %s p=%d placement=%s overlap=%v: count %d, want %d",
+									algo, name, p, placement, overlap, res.Count, want)
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementEngages guards the suite against passing vacuously: on the
+// skewed fixture with the low hub threshold, the overlay must actually move
+// hubs (the place phase runs) and still match the owner-driven count.
+func TestPlacementEngages(t *testing.T) {
+	withCheapMoves(t)
+	fix, _ := testgraph.ByName("rmat")
+	g := fix.Build()
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+		res, err := Run(algo, g, placementConfig(8, PlacementStatic, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != fix.Triangles {
+			t.Fatalf("%s placed: %d, want %d", algo, res.Count, fix.Triangles)
+		}
+		if _, ok := res.Phases[PhasePlace]; !ok {
+			t.Fatalf("%s: place phase never ran — the overlay was a no-op and the suite is vacuous", algo)
+		}
+	}
+}
+
+// TestPlacementTriangleSetsIdentical compares the actual triangle sets, not
+// just the totals: an overcount that cancels against an undercount would
+// slip past a count comparison but not past set equality + the duplicate
+// check. (This is exactly the class of bug a surrogate double-intersecting
+// a sender-local hub would introduce.)
+func TestPlacementTriangleSetsIdentical(t *testing.T) {
+	withCheapMoves(t)
+	fix, _ := testgraph.ByName("rmat")
+	g := fix.Build()
+	want := make(map[[3]graph.Vertex]bool)
+	SeqEnumerate(g, func(v, u, w graph.Vertex) { want[CanonTriangle(v, u, w)] = true })
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+		for _, p := range []int{2, 4, 8} {
+			cfg := placementConfig(p, PlacementAuto, false)
+			cfg.Collect = true
+			res, err := Run(algo, g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[[3]graph.Vertex]bool)
+			for _, tri := range res.Triangles {
+				if seen[tri] {
+					t.Fatalf("%s p=%d: duplicate triangle %v under placement", algo, p, tri)
+				}
+				seen[tri] = true
+				if !want[tri] {
+					t.Fatalf("%s p=%d: spurious triangle %v under placement", algo, p, tri)
+				}
+			}
+			if len(seen) != len(want) {
+				t.Fatalf("%s p=%d: %d distinct triangles, want %d", algo, p, len(seen), len(want))
+			}
+		}
+	}
+}
+
+// TestPlacementLCC pins the side-map path: a surrogate's triangles increment
+// Δ for corners that may not even be rows there, which travel through the
+// side map into the ghost-Δ exchange. Every per-vertex count must match the
+// sequential oracle exactly.
+func TestPlacementLCC(t *testing.T) {
+	withCheapMoves(t)
+	for _, name := range []string{"rmat", "web", "cliques"} {
+		fix, ok := testgraph.ByName(name)
+		if !ok {
+			t.Fatalf("fixture %s missing", name)
+		}
+		g := fix.Build()
+		_, wantDeltas := SeqDeltas(g)
+		for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+			for _, overlap := range []bool{false, true} {
+				cfg := placementConfig(4, PlacementAuto, overlap)
+				cfg.LCC = true
+				res, err := Run(algo, g, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v, want := range wantDeltas {
+					if res.Deltas[v] != want {
+						t.Fatalf("%s/%s overlap=%v: Δ(%d) = %d, want %d",
+							algo, name, overlap, v, res.Deltas[v], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementHybridThreads runs the placed receive path through the
+// funneled worker pool (barriered) and the chunk-stealing workers
+// (overlapped), where records carry their source rank across goroutines.
+func TestPlacementHybridThreads(t *testing.T) {
+	withCheapMoves(t)
+	g := gen.RMAT(gen.DefaultRMAT(9, 31))
+	want := SeqCount(g)
+	for _, algo := range []Algorithm{AlgoDiTric, AlgoCetric} {
+		for _, overlap := range []bool{false, true} {
+			cfg := placementConfig(4, PlacementAuto, overlap)
+			cfg.Threads = 4
+			res, err := Run(algo, g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("%s threads=4 overlap=%v placed: %d, want %d", algo, overlap, res.Count, want)
+			}
+		}
+	}
+}
+
+// TestPlacementIndirectVariants covers the grid-routed "2" algorithms: the
+// effective destination of a redirected record must survive two-hop
+// delivery unchanged.
+func TestPlacementIndirectVariants(t *testing.T) {
+	withCheapMoves(t)
+	g := gen.RMAT(gen.DefaultRMAT(8, 11))
+	want := SeqCount(g)
+	for _, algo := range []Algorithm{AlgoDiTric2, AlgoCetric2} {
+		res, err := Run(algo, g, placementConfig(9, PlacementStatic, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("%s placed: %d, want %d", algo, res.Count, want)
+		}
+	}
+}
+
+// TestPlacementValidation rejects unknown policy names on both entry points.
+func TestPlacementValidation(t *testing.T) {
+	g := gen.Complete(8)
+	if _, err := Run(AlgoDiTric, g, Config{P: 2, Placement: "sideways"}); err == nil {
+		t.Fatal("Run accepted an invalid placement policy")
+	}
+}
+
+// TestComputePlacementProperties exercises the LPT solver directly on a
+// pathological skew: one PE owns every heavy hub. The solver must move work
+// off it, never assign a surrogate equal to the owner, and be a pure
+// function of its inputs.
+func TestComputePlacementProperties(t *testing.T) {
+	const p = 4
+	base := []float64{1000, 10, 10, 10}
+	var hubs []part.HubLoad
+	for i := 0; i < 8; i++ {
+		hubs = append(hubs, part.HubLoad{GID: uint64(100 + i), Owner: 0, Requests: 50, AListLen: 40})
+	}
+	pl := part.ComputePlacement(p, base, hubs, 1e-5, 1e-8, 1e-9)
+	if pl.Len() == 0 {
+		t.Fatal("nothing moved off the overloaded PE")
+	}
+	for i := 0; i < pl.Len(); i++ {
+		gid, dst := pl.At(i)
+		if dst == 0 {
+			t.Fatalf("hub %d placed on its own overloaded owner", gid)
+		}
+		if dst < 0 || dst >= p {
+			t.Fatalf("hub %d placed on out-of-range PE %d", gid, dst)
+		}
+	}
+	again := part.ComputePlacement(p, base, hubs, 1e-5, 1e-8, 1e-9)
+	if again.Len() != pl.Len() {
+		t.Fatalf("solver is not deterministic: %d vs %d moves", again.Len(), pl.Len())
+	}
+	for i := 0; i < pl.Len(); i++ {
+		g1, d1 := pl.At(i)
+		g2, d2 := again.At(i)
+		if g1 != g2 || d1 != d2 {
+			t.Fatalf("solver is not deterministic at %d: (%d,%d) vs (%d,%d)", i, g1, d1, g2, d2)
+		}
+	}
+}

@@ -25,6 +25,10 @@ const (
 	// u, exactly Algorithm 2's semantics (otherwise repeated shipments of the
 	// same neighborhood would double count).
 	chNeighEdge = 7
+	// chHubShip carries placement shipments (hub, A(hub)...): a moved hub's
+	// oriented neighborhood, sent once by its owner to the surrogate PE the
+	// cost-driven placement chose, before any counting traffic flows.
+	chHubShip = 8
 )
 
 // countState accumulates one PE's triangles, per-row Δ counts and optional
@@ -40,6 +44,19 @@ type countState struct {
 	t1, t2, t3 uint64
 	deltaRows  []uint64
 	triangles  [][3]graph.Vertex
+
+	// recvWork meters receive-side intersection work in words scanned
+	// (list + partner lengths per intersection). Deterministic and
+	// schedule-independent, unlike wall-clock: it is the per-PE global-phase
+	// load the placement overlay balances, exported via
+	// comm.Metrics.RecvWorkWords.
+	recvWork uint64
+
+	// side accumulates LCC Δ increments for triangle corners that are not
+	// rows on this PE — only surrogate-side intersections can produce those
+	// (the stored hub and the shipped list live in global-ID space). Merged
+	// into deltaRows or shipped to owners by flushGhostDeltas.
+	side map[graph.Vertex]uint64
 
 	// Receive-side translation scratch (see graph.RowTranslator). Reused
 	// across records so steady-state receive processing allocates nothing.
@@ -124,7 +141,9 @@ func (s *countState) recvNeigh(v graph.Vertex, list []uint64, o *graph.LocalOrie
 	case nLoc == 0:
 		return 0
 	case nLoc == 1 && fast:
-		c := graph.CountIntersect(list, o.Out(first))
+		partner := o.Out(first)
+		s.recvWork += uint64(len(list) + len(partner))
+		c := graph.CountIntersect(list, partner)
 		s.count += c
 		return c
 	}
@@ -132,6 +151,7 @@ func (s *countState) recvNeigh(v graph.Vertex, list []uint64, o *graph.LocalOrie
 	if fast {
 		var c uint64
 		for _, ur := range rows[:nLoc] {
+			s.recvWork += uint64(len(rows) + o.OutDegree(int32(ur)))
 			c += o.CountRowsWith(rows, int32(ur))
 		}
 		s.count += c
@@ -142,6 +162,7 @@ func (s *countState) recvNeigh(v graph.Vertex, list []uint64, o *graph.LocalOrie
 	var c uint64
 	for _, ur := range rows[:nLoc] {
 		ru := int32(ur)
+		s.recvWork += uint64(len(rows) + o.OutDegree(ru))
 		o.ForEachCommonRowsWith(rows, ru, func(w graph.Vertex) {
 			s.addRows(rv, ru, int32(w))
 			c++
@@ -160,13 +181,16 @@ func (s *countState) recvNeighEdge(v, u graph.Vertex, list []uint64, o *graph.Lo
 	}
 	ru := int32(u - s.lg.First)
 	if !s.lcc && !s.collect {
-		c := graph.CountIntersect(list, o.Out(ru))
+		partner := o.Out(ru)
+		s.recvWork += uint64(len(list) + len(partner))
+		c := graph.CountIntersect(list, partner)
 		s.count += c
 		return c
 	}
 	rows, _ := s.lg.TranslateRows(&s.tr, list)
 	rv := s.lg.Row(v)
 	var c uint64
+	s.recvWork += uint64(len(rows) + o.OutDegree(ru))
 	o.ForEachCommonRowsWith(rows, ru, func(w graph.Vertex) {
 		s.addRows(rv, ru, int32(w))
 		c++
@@ -192,6 +216,16 @@ func (s *countState) countWedgeRows(av []uint64, rv, ru int32, o *graph.LocalOri
 	return c
 }
 
+// sideAdd records one LCC Δ increment for a vertex that may not be a row
+// here (surrogate-side triangle corners). Lazy: only placed runs with LCC
+// enabled ever allocate the map.
+func (s *countState) sideAdd(v graph.Vertex) {
+	if s.side == nil {
+		s.side = make(map[graph.Vertex]uint64)
+	}
+	s.side[v]++
+}
+
 // handleDelta processes ghost Δ aggregation records [gid, Δ, gid, Δ, ...].
 func (s *countState) handleDelta(_ int, words []uint64) {
 	for i := 0; i+1 < len(words); i += 2 {
@@ -210,6 +244,17 @@ func (s *countState) flushGhostDeltas(pe *dist.PE) {
 	for i, gid := range lg.Ghosts() {
 		row := lg.NLocal() + i
 		if d := s.deltaRows[row]; d > 0 {
+			dst := lg.Part.Rank(gid)
+			batch[dst] = append(batch[dst], gid, d)
+		}
+	}
+	// Surrogate-side increments: corners of triangles found on behalf of
+	// other PEs need not be rows here, so they bypassed deltaRows. Locals
+	// fold in directly; the rest join the owner-addressed batches.
+	for gid, d := range s.side {
+		if lg.IsLocal(gid) {
+			s.deltaRows[gid-lg.First] += d
+		} else {
 			dst := lg.Part.Rank(gid)
 			batch[dst] = append(batch[dst], gid, d)
 		}

@@ -77,6 +77,11 @@ const (
 const (
 	PhaseGlobalRecv  = PhaseGlobal + "/recv"
 	PhaseOverlapIdle = PhaseOverlap + "/idle"
+	// PhasePlace is the placement hub-shipment step (sending moved hubs'
+	// neighborhoods to their surrogates and draining to quiescence). Keyed
+	// under global/ because it is global-phase communication the overlay
+	// front-loads; folded into PhaseGlobal by the stopwatch.
+	PhasePlace = PhaseGlobal + "/place"
 	// PhaseGlobalExchange is TK2D's per-round block broadcast time. Keyed
 	// under global/ so the stopwatch's parent-folding lands it in
 	// PhaseGlobal, keeping the 1D and 2D phase reports comparable: in both
@@ -146,6 +151,19 @@ type Config struct {
 	// ghost degree exchange instead of the dense exchange the paper defaults
 	// to in its evaluation.
 	SparseDegreeExchange bool
+
+	// Placement selects the cost-model-driven hub placement overlay for
+	// DITRIC/CETRIC (and their indirect variants): "off" or empty leaves
+	// delivery owner-driven; "static" assigns each heavy hub a surrogate PE
+	// by greedy LPT over the modeled per-PE load, pricing hub moves with the
+	// configured static α+β profile; "auto" does the same but prefers α/β
+	// calibrated live from this run's own frame-latency samples
+	// (costmodel.Calibrate), falling back to the static table until enough
+	// samples exist. Moved hubs' neighborhoods ship once to their surrogate,
+	// which intersects on behalf of all requesters — counts are provably
+	// identical to owner-driven delivery. Ignored under NoSurrogate (the
+	// ablation ships per-edge records no surrogate could dedup).
+	Placement string
 	// NoSurrogate disables the surrogate dedup of Arifuzzaman et al., so a
 	// neighborhood is shipped once per *cut edge* instead of once per
 	// destination PE (an ablation of §IV-D "avoiding redundant messages").

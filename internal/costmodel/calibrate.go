@@ -1,0 +1,114 @@
+package costmodel
+
+import "repro/internal/comm"
+
+// MeasuredName is the profile name that selects online calibration instead
+// of a static parameter table: Config.Profile / -profile accept it, and the
+// consumers (flush watermark, placement cost, the Bottleneck* lenses) then
+// use the α/β recovered from the run's own frame-latency samples, falling
+// back to Cloud until enough samples exist.
+const MeasuredName = "measured"
+
+// MinCalibrationSamples is the smallest number of timed data frames a fit
+// will accept. Below it (or without any size spread across the samples) the
+// least-squares system is ill-conditioned and Calibrate reports failure so
+// callers can fall back to a static profile.
+const MinCalibrationSamples = 32
+
+// BetaFloor is the smallest per-word transfer cost Calibrate reports (in
+// seconds per word). A fit that collapses to the pure-latency model still
+// needs a positive β so downstream α/β ratios (FlushWatermark) stay
+// defined.
+const BetaFloor = 1e-12
+
+// IntersectSecPerWord is the modeled compute rate of a merge intersection:
+// seconds per list word scanned (memory-bound pointer walk over sorted
+// uint64 slices, ~1ns/word on current hardware). It is the exchange rate
+// the placement solver uses to convert wire seconds (α+β) into the same
+// currency as receive-side intersection work, so a move's shipment cost is
+// comparable to the work it relocates regardless of how fast the transport
+// is. Deliberately a constant, not a calibration output: intersect
+// throughput varies far less across machines than network parameters do.
+const IntersectSecPerWord = 1e-9
+
+// Calibrate fits a live α+β profile to the frame-latency samples metered in
+// m: each data frame send contributed one (wire bytes, ns) observation, and
+// the closed-form least-squares line through them recovers the per-frame
+// startup cost (α, the intercept) and the per-byte transfer cost (the
+// slope, converted to Beta's per-8-byte-word convention). Returns ok=false
+// only when the samples cannot identify anything: too few, or no size
+// variance. A non-positive slope — the normal outcome on transports whose
+// latency barely depends on frame size (in-process channels), where
+// scheduling noise decides the slope's sign — degrades to the pure-latency
+// model instead of failing: α is the mean frame latency and β sits at
+// BetaFloor, which keeps the measured profile usable (and its α/β pricing
+// stable) on fast transports. α from a genuine sloped fit is clamped
+// non-negative, with a degenerate 0 floored at one nanosecond so
+// FlushWatermark stays meaningful.
+func Calibrate(m comm.Metrics) (Profile, bool) {
+	n := float64(m.LatSamples)
+	if m.LatSamples < MinCalibrationSamples {
+		return Profile{}, false
+	}
+	// Least squares over y = α + slope·x with x in bytes, y in ns:
+	//   slope = (nΣxy − ΣxΣy) / (nΣx² − (Σx)²),  α = (Σy − slope·Σx)/n.
+	det := n*m.LatSumBytes2 - m.LatSumBytes*m.LatSumBytes
+	if det <= 0 {
+		return Profile{}, false // no size spread: slope unidentifiable
+	}
+	const nsPerSec = 1e9
+	slope := (n*m.LatSumNsB - m.LatSumBytes*m.LatSumNs) / det
+	if slope <= 0 {
+		// Flat transport (or noise-dominated slope): the identifiable
+		// quantity is the mean per-frame latency, so report it as α over a
+		// floored β — the pure-latency model.
+		alpha := m.LatSumNs / n / nsPerSec
+		if alpha < 1e-9 {
+			alpha = 1e-9
+		}
+		return Profile{Name: MeasuredName, Alpha: alpha, Beta: BetaFloor}, true
+	}
+	alpha := (m.LatSumNs - slope*m.LatSumBytes) / n
+	if alpha < 0 {
+		// Noise can push the intercept below zero; the startup cost of a
+		// real transport cannot be negative, so clamp and keep the slope.
+		alpha = 0
+	}
+	p := Profile{
+		Name:  MeasuredName,
+		Alpha: alpha / nsPerSec,
+		Beta:  slope * 8 / nsPerSec, // per-byte slope → per-word Beta
+	}
+	if p.Alpha == 0 {
+		p.Alpha = 1e-9 // floor: keep FlushWatermark ≥ 1 well-defined
+	}
+	return p, true
+}
+
+// MeasuredProfile fits one α+β profile to a whole run by pooling every
+// rank's samples (comm.Metrics.Add accumulates the running sums, so the
+// pooled fit weighs each frame equally). ok=false under the same conditions
+// as Calibrate.
+func MeasuredProfile(per []comm.Metrics) (Profile, bool) {
+	var all comm.Metrics
+	for _, m := range per {
+		all.Add(m)
+	}
+	return Calibrate(all)
+}
+
+// Resolve maps a profile name to parameters usable right now: static names
+// resolve from the built-in table, MeasuredName fits m's samples and falls
+// back to Cloud (the conservative middle profile) when calibration cannot
+// succeed yet. The boolean reports whether the result is a genuine
+// measurement (always true for static names, false on the fallback).
+func Resolve(name string, m comm.Metrics) (Profile, bool, error) {
+	if name == MeasuredName {
+		if p, ok := Calibrate(m); ok {
+			return p, true, nil
+		}
+		return Cloud, false, nil
+	}
+	p, err := ByName(name)
+	return p, true, err
+}

@@ -385,6 +385,40 @@ func Activity(per []comm.Metrics) []RankActivity {
 	return out
 }
 
+// SkewSummary condenses a run's per-rank load imbalance into the numbers a
+// placement decision needs: the busiest and the average rank's receive-side
+// intersection work (comm.Metrics.RecvWorkWords — deterministic, unlike
+// wall clock) and their ratio (1.0 = perfectly balanced; the max-PE
+// straggler finishes Ratio× later than the average under equal throughput),
+// plus the worst rank's idle wait as the wall-clock echo of the same skew.
+type SkewSummary struct {
+	MaxRecvWork  int64
+	MeanRecvWork float64
+	Ratio        float64
+	MaxIdle      time.Duration
+}
+
+// ActivitySkew summarizes per-rank activity imbalance from a run's metrics.
+// Ratio is 0 when no rank did any receive-side work (nothing to skew).
+func ActivitySkew(per []comm.Metrics) SkewSummary {
+	var s SkewSummary
+	var total int64
+	for _, m := range per {
+		total += m.RecvWorkWords
+		if m.RecvWorkWords > s.MaxRecvWork {
+			s.MaxRecvWork = m.RecvWorkWords
+		}
+		if idle := time.Duration(m.IdleNs); idle > s.MaxIdle {
+			s.MaxIdle = idle
+		}
+	}
+	if len(per) > 0 && total > 0 {
+		s.MeanRecvWork = float64(total) / float64(len(per))
+		s.Ratio = float64(s.MaxRecvWork) / s.MeanRecvWork
+	}
+	return s
+}
+
 // ModeledWire is Modeled over the codec-encoded wire bytes instead of the
 // raw machine words: the α+β time the same run would take once the codec
 // layer's compression is accounted for. Comparing the two maps per profile

@@ -1,0 +1,90 @@
+package part
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzPlacement pins the LPT solver's structural invariants on arbitrary
+// nomination sets: every moved hub appears exactly once (strictly ascending
+// GIDs), its surrogate is a valid rank that differs from its owner, vertices
+// that were never nominated are never redirected, and the solve is a pure
+// deterministic function of its inputs.
+func FuzzPlacement(f *testing.F) {
+	mk := func(vals ...uint32) []byte {
+		b := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(b[4*i:], v)
+		}
+		return b
+	}
+	f.Add(uint8(4), mk(7, 0, 500, 40, 9, 1, 800, 60, 12, 0, 300, 20))
+	f.Add(uint8(2), mk(1, 0, 1, 1))
+	f.Add(uint8(13), mk(100, 5, 1<<18, 1<<12, 101, 5, 1<<18, 1<<12, 102, 5, 9, 3))
+	f.Add(uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, pRaw uint8, data []byte) {
+		p := int(pRaw%16) + 1
+		var hubs []HubLoad
+		seen := make(map[uint64]bool)
+		for len(data) >= 16 {
+			gid := uint64(binary.LittleEndian.Uint32(data))
+			owner := int(binary.LittleEndian.Uint32(data[4:])) % p
+			req := uint64(binary.LittleEndian.Uint32(data[8:])) % (1 << 20)
+			alen := uint64(binary.LittleEndian.Uint32(data[12:])) % (1 << 16)
+			data = data[16:]
+			if seen[gid] {
+				continue // nominations come from disjoint owners: GIDs are unique
+			}
+			seen[gid] = true
+			hubs = append(hubs, HubLoad{GID: gid, Owner: owner, Requests: req, AListLen: alen})
+		}
+		base := make([]float64, p)
+		for i := range base {
+			base[i] = float64((i * 37) % 101)
+		}
+		owner := make(map[uint64]int, len(hubs))
+		for _, h := range hubs {
+			owner[h.GID] = h.Owner
+		}
+		pl := ComputePlacement(p, base, hubs, 1e-6, 1e-9, 1e-9)
+		var prev uint64
+		for i := 0; i < pl.Len(); i++ {
+			gid, dst := pl.At(i)
+			if i > 0 && gid <= prev {
+				t.Fatalf("moved-hub GIDs not strictly ascending: %d after %d", gid, prev)
+			}
+			prev = gid
+			own, ok := owner[gid]
+			if !ok {
+				t.Fatalf("moved hub %d was never nominated", gid)
+			}
+			if dst == own {
+				t.Fatalf("hub %d placed on its own owner %d (home placements must be omitted)", gid, dst)
+			}
+			if dst < 0 || dst >= p {
+				t.Fatalf("hub %d placed on out-of-range PE %d (p=%d)", gid, dst, p)
+			}
+			if got, redirected := pl.Of(gid); !redirected || got != dst {
+				t.Fatalf("Of(%d) = (%d,%v), want (%d,true)", gid, got, redirected, dst)
+			}
+		}
+		// Non-nominated vertices are untouched.
+		for _, probe := range []uint64{0, 1 << 32, ^uint64(0)} {
+			if _, redirected := pl.Of(probe); redirected && !seen[probe] {
+				t.Fatalf("non-nominated vertex %d is redirected", probe)
+			}
+		}
+		// Purity: the identical inputs must reproduce the identical overlay.
+		again := ComputePlacement(p, base, hubs, 1e-6, 1e-9, 1e-9)
+		if again.Len() != pl.Len() {
+			t.Fatalf("solver not deterministic: %d vs %d moves", again.Len(), pl.Len())
+		}
+		for i := 0; i < pl.Len(); i++ {
+			g1, d1 := pl.At(i)
+			g2, d2 := again.At(i)
+			if g1 != g2 || d1 != d2 {
+				t.Fatalf("solver not deterministic at %d: (%d,%d) vs (%d,%d)", i, g1, d1, g2, d2)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package part
+
+import "testing"
+
+// TestNewPlacementValidation pins the broadcast-rebuild constructor: shape
+// mismatches and non-ascending gids are rejected, while Drop surrogates —
+// dead endpoints riding in the same broadcast as moved hubs — are legal.
+func TestNewPlacementValidation(t *testing.T) {
+	if _, err := NewPlacement([]uint64{1, 2}, []int32{0}); err == nil {
+		t.Fatal("accepted mismatched slice lengths")
+	}
+	if _, err := NewPlacement([]uint64{5, 5}, []int32{0, 1}); err == nil {
+		t.Fatal("accepted duplicate gids")
+	}
+	if _, err := NewPlacement([]uint64{7, 3}, []int32{0, 1}); err == nil {
+		t.Fatal("accepted descending gids")
+	}
+	pl, err := NewPlacement([]uint64{3, 9, 40}, []int32{2, Drop, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst, ok := pl.Of(9); !ok || dst != Drop {
+		t.Fatalf("Of(9) = (%d,%v), want (Drop,true)", dst, ok)
+	}
+	if dst, ok := pl.Of(40); !ok || dst != 1 {
+		t.Fatalf("Of(40) = (%d,%v), want (1,true)", dst, ok)
+	}
+	if _, ok := pl.Of(10); ok {
+		t.Fatal("Of(10) redirected a vertex that was never placed")
+	}
+}
+
+// TestComputePlacementNeverDrops separates the two overlay populations: the
+// LPT solves only over live hubs (nonzero shipped lists), so it must never
+// emit the Drop sentinel — dead endpoints enter a Placement exclusively via
+// their owner's announcement through NewPlacement.
+func TestComputePlacementNeverDrops(t *testing.T) {
+	base := []float64{5000, 1, 1, 1}
+	var hubs []HubLoad
+	for i := 0; i < 16; i++ {
+		hubs = append(hubs, HubLoad{GID: uint64(i), Owner: 0, Requests: 100, AListLen: 30})
+	}
+	pl := ComputePlacement(4, base, hubs, 1e-6, 1e-9, 1e-9)
+	if pl.Len() == 0 {
+		t.Fatal("nothing moved off the overloaded PE")
+	}
+	for i := 0; i < pl.Len(); i++ {
+		if gid, dst := pl.At(i); dst < 0 {
+			t.Fatalf("solver emitted Drop for hub %d", gid)
+		}
+	}
+}
