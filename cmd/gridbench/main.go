@@ -1,30 +1,33 @@
-// Command gridbench compares the communication volume of the 2D
-// grid-partitioned backend (TK2D, PR 7) against the 1D counters
-// (DITRIC/CETRIC) across a PE sweep: for each benchmark stand-in and each
-// square p it runs all three algorithms, records the measured bytes that
-// crossed the wire (codec-encoded, total and worst-PE), and evaluates the
-// α+β wire lenses — costmodel.BottleneckWire for the asynchronous 1D queue
-// and costmodel.BottleneckWire2D for the blocking 2D collective exchange —
-// on every built-in network profile. The crossover table reports, per graph
-// and profile, the smallest swept p at which the modeled 2D exchange beats
-// the modeled 1D shipping. Triangle counts must agree across all three
-// algorithms everywhere — the tool exits nonzero otherwise, and it also
-// fails if TK2D's measured wire bytes do not undercut DITRIC's on the
-// skewed (rmat/rhg) stand-ins at p ≥ 16, the acceptance condition behind
-// BENCH_pr7.json:
+// Command gridbench compares the 2D grid-partitioned backend (TK2D) against
+// the 1D counters (DITRIC/CETRIC) across a PE sweep — communication volume
+// (PR 7) and, since the pipelined exchange (PR 10), receive-side comm-wait.
+// For each benchmark stand-in and each swept p it runs TK2D twice — the
+// blocking round schedule and the pipelined one (split-phase IBcast, one
+// round ahead) — plus the 1D counters, records the measured bytes that
+// crossed the wire (codec-encoded, total and worst-PE), the worst PE's
+// receive-wait (max_idle_ms, comm.Metrics.IdleNs), and evaluates the α+β
+// wire lenses on every built-in network profile:
+// costmodel.BottleneckWire for the asynchronous 1D queue,
+// costmodel.BottleneckWire2D for the blocking collective exchange, and
+// costmodel.BottleneckOverlapped2D for the pipelined per-round
+// max(comm, compute) schedule. The crossover table reports, per graph and
+// profile, the smallest swept p at which the modeled 2D exchange beats the
+// modeled 1D shipping.
 //
-//	go run ./cmd/gridbench > BENCH_pr7.json
+// Acceptance gates (exit nonzero on violation):
+//   - triangle counts agree across all algorithms and modes everywhere,
+//     including the rectangular sweep p ∈ {2, 6, 8, 12} cross-checked
+//     against DITRIC;
+//   - TK2D's measured wire bytes undercut DITRIC's on the skewed (rmat/rhg)
+//     stand-ins at p ≥ 16 (the PR-7 condition);
+//   - the pipelined schedule's worst-PE receive-wait undercuts the blocking
+//     schedule's by ≥ 1.3× on the gate stand-ins at p ≥ 9 (the PR-10
+//     condition; under -quick it only warns — single-rep timing on a smoke
+//     host is too noisy to gate on).
 //
-// The volume logic: a TK2D PE ships its ~|E|/p-edge block 2(√p−1) times —
-// O(|E|/√p) total per PE no matter how the graph is cut — while the 1D
-// counters ship cut neighborhoods, whose volume tracks how many PEs each
-// vertex's neighborhood spans and approaches O(|E|) per PE on dense or
-// skewed graphs at large p. The sweep therefore runs the shared sparse
-// stand-ins as controls (1D wins there: neighborhoods span few PEs, the
-// broadcast factor has nothing to amortize against) alongside the
-// dense/skewed operating points (rmat-2^13 and a dense heavy-tailed RHG)
-// where cut shipping explodes and the block geometry pays off — only the
-// latter carry the wire-byte acceptance gate.
+// Producing the checked-in report:
+//
+//	go run ./cmd/gridbench > BENCH_pr10.json
 package main
 
 import (
@@ -39,18 +42,25 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/part"
 )
 
 type row struct {
-	Graph        string             `json:"graph"`
-	Algo         string             `json:"algo"`
-	P            int                `json:"p"`
+	Graph string `json:"graph"`
+	Algo  string `json:"algo"`
+	// Mode is "blocking" or "pipelined" for tk2d rows, empty for the 1D
+	// counters (their overlap knob is a different mechanism, not swept here).
+	Mode string `json:"mode,omitempty"`
+	P    int    `json:"p"`
+	// Grid names the r×c factorization and round count of tk2d rows.
+	Grid         string             `json:"grid,omitempty"`
 	Triangles    uint64             `json:"triangles"`
 	WallMs       float64            `json:"wall_ms"`
 	Frames       int64              `json:"frames"`
 	WireBytes    int64              `json:"wire_bytes"`        // total encoded bytes sent, all PEs
 	MaxWireBytes int64              `json:"max_wire_bytes_pe"` // worst PE's sent encoded bytes
-	ModeledMs    map[string]float64 `json:"modeled_wire_ms"`   // BottleneckWire (1D) / BottleneckWire2D (tk2d)
+	MaxIdleMs    float64            `json:"max_idle_ms"`       // worst PE's receive-wait (best over reps)
+	ModeledMs    map[string]float64 `json:"modeled_wire_ms"`   // BottleneckWire (1D) / BottleneckWire2D (tk2d blocking) / BottleneckOverlapped2D (tk2d pipelined)
 }
 
 type crossover struct {
@@ -64,21 +74,34 @@ type crossover struct {
 	Ratio2Dover1D map[string]float64 `json:"ratio_2d_over_1d"`
 }
 
+// idleGate is one blocking-vs-pipelined comparison on a gate instance.
+type idleGate struct {
+	Graph          string  `json:"graph"`
+	P              int     `json:"p"`
+	BlockingIdleMs float64 `json:"blocking_max_idle_ms"`
+	PipelineIdleMs float64 `json:"pipelined_max_idle_ms"`
+	// Ratio is blocking / pipelined worst-PE receive-wait; the full-run gate
+	// requires ≥ 1.3 at p ≥ 9. 0 means the pipelined run measured no
+	// receive-wait at all — every broadcast was fully hidden.
+	Ratio float64 `json:"ratio"`
+}
+
 type report struct {
 	Note       string      `json:"note"`
 	Go         string      `json:"go"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	PEs        []int       `json:"pes"`
+	RectPEs    []int       `json:"rect_pes"`
 	Threads    int         `json:"threads"`
 	Rows       []row       `json:"rows"`
+	IdleGates  []idleGate  `json:"idle_gates"`
 	Crossovers []crossover `json:"crossovers"`
 }
 
-var algos = []core.Algorithm{core.AlgoTK2D, core.AlgoDiTric, core.AlgoCetric}
-
 // instance is one swept graph: the shared benchutil stand-ins (sparse
 // controls) plus the dense/skewed operating points. Gate marks the instances
-// whose TK2D-vs-DITRIC wire bytes at p ≥ 16 are an acceptance condition.
+// whose TK2D-vs-DITRIC wire bytes at p ≥ 16 and blocking-vs-pipelined idle
+// at p ≥ 9 are acceptance conditions.
 type instance struct {
 	benchutil.Standin
 	Gate bool
@@ -100,67 +123,110 @@ func instances() []instance {
 	return out
 }
 
+// gridString names p's factorization, e.g. "3×4 (12 rounds)".
+func gridString(n uint64, p int) string {
+	g2, err := part.NewGrid2D(n, p)
+	if err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf("%d×%d (%d rounds)", g2.R(), g2.C(), g2.Rounds())
+}
+
 func main() {
 	var (
 		threads = flag.Int("threads", 2, "worker threads per PE")
 		reps    = flag.Int("reps", 3, "repetitions per configuration (best wall wins)")
-		quick   = flag.Bool("quick", false, "single repetition, reduced PE sweep (CI smoke)")
+		quick   = flag.Bool("quick", false, "single repetition, reduced sweeps, idle gate warns only (CI smoke)")
 	)
 	flag.Parse()
 	ps := []int{4, 9, 16, 25}
+	rectPs := []int{2, 6, 8, 12}
 	if *quick {
 		*reps = 1
-		// Keep the p≥16 acceptance point in the smoke sweep.
+		// Keep one point past each gate threshold in the smoke sweep, and
+		// one rectangular grid in each fast-path class (1×2 row-fast,
+		// 2×3 neither-fast).
 		ps = []int{4, 16}
+		rectPs = []int{2, 6}
 	}
 	rep := report{
-		Note: "2D grid (tk2d) vs 1D (ditric/cetric) communication volume across a square-p sweep. " +
+		Note: "2D grid (tk2d, blocking vs pipelined exchange) vs 1D (ditric/cetric) across a PE sweep. " +
 			"wire_bytes are measured codec-encoded bytes sent (total across PEs; max_wire_bytes_pe " +
-			"the worst PE), frames the total sent frames. modeled_wire_ms evaluates the wire-byte " +
-			"α+β lens per profile: BottleneckWire for the asynchronous 1D queue (send side on the " +
-			"critical path), BottleneckWire2D for the blocking 2D collective exchange (both " +
-			"directions). crossover_p is the smallest swept p where modeled tk2d beats modeled " +
-			"ditric on that graph and profile; ratio_2d_over_1d < 1 means tk2d wins at that p. " +
-			"Counts are verified identical across all three algorithms; the tool fails unless " +
-			"tk2d's measured wire bytes undercut ditric's on the skewed (rmat/rhg) stand-ins at " +
-			"p >= 16.",
+			"the worst PE), frames the total sent frames, max_idle_ms the worst PE's receive-wait " +
+			"(best over reps). modeled_wire_ms evaluates the wire-byte α+β lens per profile: " +
+			"BottleneckWire for the asynchronous 1D queue, BottleneckWire2D for the blocking 2D " +
+			"collective exchange, BottleneckOverlapped2D (per-round max(comm, compute)) for the " +
+			"pipelined rows. rect_pes sweeps non-square PE counts through the rectangular r×c " +
+			"factorization, counts cross-checked against ditric. idle_gates compares worst-PE " +
+			"receive-wait blocking vs pipelined on the gate stand-ins; full runs require ratio " +
+			">= 1.3 at p >= 9. Counts are verified identical across all algorithms and modes, and " +
+			"tk2d's measured wire bytes must undercut ditric's on the skewed (rmat/rhg) stand-ins " +
+			"at p >= 16.",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		PEs:        ps,
+		RectPEs:    rectPs,
 		Threads:    *threads,
 	}
 	ok := true
 	for _, spec := range instances() {
 		g := spec.Build()
-		// rows[p][algo] for the crossover scan below.
-		byP := make(map[int]map[core.Algorithm]row)
+		n := uint64(g.NumVertices())
+		// Square sweep: tk2d both modes + both 1D counters, crossover scan.
+		type cell struct{ ditric, cetric, blocking, pipelined row }
+		byP := make(map[int]cell)
 		for _, p := range ps {
-			byP[p] = make(map[core.Algorithm]row)
-			for _, algo := range algos {
-				r := measure(spec.Name, g, algo, p, *threads, *reps)
-				byP[p][algo] = r
-				rep.Rows = append(rep.Rows, r)
+			c := cell{
+				ditric:    measure(spec.Name, g, core.AlgoDiTric, p, *threads, *reps, false),
+				cetric:    measure(spec.Name, g, core.AlgoCetric, p, *threads, *reps, false),
+				blocking:  measure(spec.Name, g, core.AlgoTK2D, p, *threads, *reps, false),
+				pipelined: measure(spec.Name, g, core.AlgoTK2D, p, *threads, *reps, true),
 			}
-			if d, t := byP[p][core.AlgoDiTric], byP[p][core.AlgoTK2D]; d.Triangles != t.Triangles ||
-				byP[p][core.AlgoCetric].Triangles != t.Triangles {
-				fmt.Fprintf(os.Stderr, "gridbench: %s p=%d: counts disagree (tk2d=%d ditric=%d cetric=%d)\n",
-					spec.Name, p, t.Triangles, d.Triangles, byP[p][core.AlgoCetric].Triangles)
+			c.blocking.Grid, c.pipelined.Grid = gridString(n, p), gridString(n, p)
+			byP[p] = c
+			rep.Rows = append(rep.Rows, c.ditric, c.cetric, c.blocking, c.pipelined)
+			if c.ditric.Triangles != c.blocking.Triangles ||
+				c.cetric.Triangles != c.blocking.Triangles ||
+				c.pipelined.Triangles != c.blocking.Triangles {
+				fmt.Fprintf(os.Stderr,
+					"gridbench: %s p=%d: counts disagree (tk2d=%d tk2d-pipelined=%d ditric=%d cetric=%d)\n",
+					spec.Name, p, c.blocking.Triangles, c.pipelined.Triangles,
+					c.ditric.Triangles, c.cetric.Triangles)
 				os.Exit(1)
 			}
-			if spec.Gate && p >= 16 {
-				d, t := byP[p][core.AlgoDiTric], byP[p][core.AlgoTK2D]
-				if t.WireBytes >= d.WireBytes {
-					fmt.Fprintf(os.Stderr, "gridbench: %s p=%d: tk2d wire bytes %d not below ditric %d\n",
-						spec.Name, p, t.WireBytes, d.WireBytes)
-					ok = false
+			if spec.Gate && p >= 16 && c.blocking.WireBytes >= c.ditric.WireBytes {
+				fmt.Fprintf(os.Stderr, "gridbench: %s p=%d: tk2d wire bytes %d not below ditric %d\n",
+					spec.Name, p, c.blocking.WireBytes, c.ditric.WireBytes)
+				ok = false
+			}
+			if spec.Gate && p >= 9 {
+				gate := idleGate{
+					Graph: spec.Name, P: p,
+					BlockingIdleMs: c.blocking.MaxIdleMs,
+					PipelineIdleMs: c.pipelined.MaxIdleMs,
+				}
+				if gate.PipelineIdleMs > 0 {
+					gate.Ratio = gate.BlockingIdleMs / gate.PipelineIdleMs
+				}
+				rep.IdleGates = append(rep.IdleGates, gate)
+				if gate.BlockingIdleMs < 1.3*gate.PipelineIdleMs {
+					msg := fmt.Sprintf(
+						"gridbench: %s p=%d: pipelined idle %.3fms not 1.3x below blocking %.3fms",
+						spec.Name, p, gate.PipelineIdleMs, gate.BlockingIdleMs)
+					if *quick {
+						fmt.Fprintf(os.Stderr, "%s (warning: -quick)\n", msg)
+					} else {
+						fmt.Fprintln(os.Stderr, msg)
+						ok = false
+					}
 				}
 			}
 		}
 		for _, prof := range costmodel.Profiles() {
 			c := crossover{Graph: spec.Name, Profile: prof.Name, Ratio2Dover1D: map[string]float64{}}
 			for _, p := range ps {
-				d := byP[p][core.AlgoDiTric].ModeledMs[prof.Name]
-				t := byP[p][core.AlgoTK2D].ModeledMs[prof.Name]
+				d := byP[p].ditric.ModeledMs[prof.Name]
+				t := byP[p].blocking.ModeledMs[prof.Name]
 				if d > 0 {
 					c.Ratio2Dover1D[fmt.Sprintf("p=%d", p)] = t / d
 				}
@@ -170,6 +236,21 @@ func main() {
 			}
 			rep.Crossovers = append(rep.Crossovers, c)
 		}
+		// Rectangular sweep: every non-square p factors; counts must match
+		// the 1D oracle in both exchange modes.
+		for _, p := range rectPs {
+			oracle := measure(spec.Name, g, core.AlgoDiTric, p, *threads, 1, false)
+			for _, overlap := range []bool{false, true} {
+				r := measure(spec.Name, g, core.AlgoTK2D, p, *threads, *reps, overlap)
+				r.Grid = gridString(n, p)
+				rep.Rows = append(rep.Rows, r)
+				if r.Triangles != oracle.Triangles {
+					fmt.Fprintf(os.Stderr, "gridbench: %s p=%d (%s, %s): count %d, ditric %d\n",
+						spec.Name, p, r.Grid, r.Mode, r.Triangles, oracle.Triangles)
+					os.Exit(1)
+				}
+			}
+		}
 	}
 	benchutil.WriteJSON("gridbench", rep)
 	if !ok {
@@ -177,10 +258,11 @@ func main() {
 	}
 }
 
-func measure(name string, g *graph.Graph, algo core.Algorithm, p, threads, reps int) row {
+func measure(name string, g *graph.Graph, algo core.Algorithm, p, threads, reps int, overlap bool) row {
 	var best *core.Result
+	minMaxIdle := int64(-1)
 	for i := 0; i < reps; i++ {
-		res, err := core.Run(algo, g, core.Config{P: p, Threads: threads})
+		res, err := core.Run(algo, g, core.Config{P: p, Threads: threads, Overlap: overlap})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridbench: %s/%s p=%d: %v\n", name, algo, p, err)
 			os.Exit(1)
@@ -188,26 +270,56 @@ func measure(name string, g *graph.Graph, algo core.Algorithm, p, threads, reps 
 		if best == nil || res.Wall < best.Wall {
 			best = res
 		}
+		// The idle gate compares the best (least noisy) rep per mode: a
+		// single descheduled goroutine inflates one rep's waits by
+		// milliseconds on a loaded host.
+		if minMaxIdle < 0 || res.Agg.MaxIdleNs < minMaxIdle {
+			minMaxIdle = res.Agg.MaxIdleNs
+		}
 	}
 	var maxSent int64
 	for _, m := range best.PerPE {
 		maxSent = max(maxSent, m.EncodedBytes)
 	}
+	mode := ""
+	var rounds int
+	if algo == core.AlgoTK2D {
+		if overlap {
+			mode = "pipelined"
+		} else {
+			mode = "blocking"
+		}
+		g2, err := part.NewGrid2D(uint64(g.NumVertices()), p)
+		if err != nil {
+			panic(err)
+		}
+		rounds = g2.Rounds()
+	}
 	modeled := make(map[string]float64, len(costmodel.Profiles()))
 	for _, prof := range costmodel.Profiles() {
-		if algo == core.AlgoTK2D {
-			modeled[prof.Name] = ms(costmodel.BottleneckWire2D(best.PerPE, prof))
-		} else {
+		switch {
+		case algo != core.AlgoTK2D:
 			modeled[prof.Name] = ms(costmodel.BottleneckWire(best.PerPE, prof))
+		case overlap:
+			// Per-PE counting wall is not metered; the worst PE's local-phase
+			// wall is the bottleneck-appropriate uniform compute proxy.
+			compute := make([]time.Duration, len(best.PerPE))
+			for i := range compute {
+				compute[i] = best.Phases[core.PhaseLocal]
+			}
+			modeled[prof.Name] = ms(costmodel.BottleneckOverlapped2D(best.PerPE, compute, rounds, prof))
+		default:
+			modeled[prof.Name] = ms(costmodel.BottleneckWire2D(best.PerPE, prof))
 		}
 	}
 	return row{
-		Graph: name, Algo: string(algo), P: p,
+		Graph: name, Algo: string(algo), Mode: mode, P: p,
 		Triangles:    best.Count,
 		WallMs:       ms(best.Wall),
 		Frames:       best.Agg.TotalFrames,
 		WireBytes:    best.Agg.TotalEncodedBytes,
 		MaxWireBytes: maxSent,
+		MaxIdleMs:    float64(minMaxIdle) / 1e6,
 		ModeledMs:    modeled,
 	}
 }

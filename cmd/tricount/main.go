@@ -31,6 +31,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/part"
 	"repro/internal/transport"
 )
 
@@ -51,7 +52,7 @@ func run() error {
 		seed       = flag.Uint64("seed", 42, "generator seed")
 		scale      = flag.Int("scale", 0, "instance size shift (powers of two)")
 
-		algoName  = flag.String("algo", "cetric", "algorithm: seq|ditric|ditric2|cetric|cetric2|tk2d|tric|havoq|noagg (tk2d needs a square -p)")
+		algoName  = flag.String("algo", "cetric", "algorithm: seq|ditric|ditric2|cetric|cetric2|tk2d|tric|havoq|noagg (tk2d factors any -p into an r×c grid)")
 		p         = flag.Int("p", 8, "number of PEs")
 		threshold = flag.Int("delta", 0, "aggregation threshold δ in words (0 = O(|E_i|))")
 		threads   = flag.Int("threads", 1, "threads per PE (hybrid counting + parallel preprocessing)")
@@ -191,6 +192,9 @@ func run() error {
 	}
 	printComm(res.Agg, res.PerPE)
 	if core.Algorithm(*algoName) == core.AlgoTK2D {
+		if g2, err := part.NewGrid2D(uint64(g.NumVertices()), *p); err == nil {
+			fmt.Printf("grid: %d×%d (%d rounds)\n", g2.R(), g2.C(), g2.Rounds())
+		}
 		// The collective exchange blocks on receives, so the 2D completion
 		// proxy charges both directions — comparable against the 1D runs'
 		// wire column above.

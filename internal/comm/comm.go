@@ -51,6 +51,12 @@ type Comm struct {
 	epochs map[uint64]uint64
 	// peers tracks distinct data-frame destinations for Metrics.Peers.
 	peers map[int]struct{}
+	// wordBufs is a free list of decoded-word buffers for the group
+	// collectives (Group.Bcast/IBcast): receivers decode into recycled
+	// capacity and hand it back via Group.Recycle, so the steady-state
+	// exchange allocates nothing — the same discipline Queue keeps for its
+	// flush buffers.
+	wordBufs [][]uint64
 
 	// Watchdog state (see SetDeadline): progress counts frames ever returned
 	// by next; the stall bookkeeping turns a blocking primitive that sees no
@@ -227,4 +233,35 @@ func (c *Comm) wait(match func(t uint64) bool) transport.Frame {
 // waitTag blocks until a frame with exactly tag t arrives.
 func (c *Comm) waitTag(t uint64) transport.Frame {
 	return c.wait(func(x uint64) bool { return x == t })
+}
+
+// waitTagIdle is waitTag with the blocked time metered into Metrics.IdleNs —
+// the receive-side comm-wait the pipelined 2D exchange is built to hide. The
+// fast path (frame already stashed or in the inbox) takes no clock reads.
+func (c *Comm) waitTagIdle(t uint64) transport.Frame {
+	if f, ok := c.next(func(x uint64) bool { return x == t }); ok {
+		return f
+	}
+	t0 := time.Now()
+	f := c.waitTag(t)
+	c.M.IdleNs += time.Since(t0).Nanoseconds()
+	return f
+}
+
+// getWordBuf pops a recycled decode buffer (nil when the free list is dry:
+// the codec append grows it to working-set size once).
+func (c *Comm) getWordBuf() []uint64 {
+	if n := len(c.wordBufs); n > 0 {
+		b := c.wordBufs[n-1]
+		c.wordBufs = c.wordBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// recycleWordBuf returns a decode buffer to the free list.
+func (c *Comm) recycleWordBuf(b []uint64) {
+	if cap(b) > 0 {
+		c.wordBufs = append(c.wordBufs, b[:0])
+	}
 }

@@ -79,36 +79,60 @@ func (g *Group) memberIndex(rank int) int {
 	panic(fmt.Sprintf("comm: rank %d is not a member of group %d", rank, g.gid))
 }
 
-// Bcast broadcasts words from the member at index root to every member.
-// The root passes its payload (returned unchanged); other members pass the
-// payload nil and a reuse buffer whose capacity receives the decoded words
-// — the steady-state receive path allocates nothing once buf has grown to
-// the working-set size. The payload crosses the wire codec-encoded and is
-// metered as data traffic.
-func (g *Group) Bcast(root int, words []uint64, codec Codec, buf []uint64) []uint64 {
-	t := g.nextTag()
-	if g.Size() == 1 {
-		return words
+// BcastOp is an in-flight split-phase broadcast handle (a value: posting
+// and completing allocate nothing). Obtained from IBcast, resolved by Wait.
+type BcastOp struct {
+	g     *Group
+	t     uint64
+	codec Codec
+	words []uint64
+	root  int
+}
+
+// IBcast posts a broadcast of words from the member at index root and
+// returns immediately with a completion handle. The root's frames leave at
+// post time (transport sends never block), so a later round's IBcast can be
+// in flight while the current round's payload is still being consumed —
+// the tag sequence disambiguates, since every member advances the group
+// sequence at post in the same SPMD program order. Receivers hand the
+// payload words to Wait; until then arriving frames park in the inbox or
+// the stash. The payload crosses the wire codec-encoded and is metered as
+// data traffic.
+func (g *Group) IBcast(root int, words []uint64, codec Codec) BcastOp {
+	op := BcastOp{g: g, t: g.nextTag(), codec: codec, words: words, root: root}
+	if g.Size() == 1 || g.idx != root {
+		return op
 	}
-	if g.idx == root {
-		g.scratch = codec.AppendEncoded(g.scratch[:0], words)
-		rawWords := 1 + len(words)
-		for i, dst := range g.members {
-			if i == root {
-				continue
-			}
-			frame := transport.GetBuf(8 + len(g.scratch))
-			frame = binary.LittleEndian.AppendUint64(frame, t)
-			frame = append(frame, g.scratch...)
-			g.c.M.PayloadWords += int64(len(words))
-			if err := g.c.sendDataBytes(dst, frame, rawWords); err != nil {
-				panic(fmt.Sprintf("comm: group bcast to %d: %v", dst, err))
-			}
+	g.scratch = op.codec.AppendEncoded(g.scratch[:0], words)
+	rawWords := 1 + len(words)
+	for i, dst := range g.members {
+		if i == root {
+			continue
 		}
-		return words
+		frame := transport.GetBuf(8 + len(g.scratch))
+		frame = binary.LittleEndian.AppendUint64(frame, op.t)
+		frame = append(frame, g.scratch...)
+		g.c.M.PayloadWords += int64(len(words))
+		if err := g.c.sendDataBytes(dst, frame, rawWords); err != nil {
+			panic(fmt.Sprintf("comm: group bcast to %d: %v", dst, err))
+		}
 	}
-	f := g.c.waitTag(t)
-	out, err := codec.AppendDecoded(buf[:0], f.Bytes[8:])
+	return op
+}
+
+// Wait completes the broadcast: the root (and a size-1 group) gets its own
+// payload back unchanged; every other member blocks for the frame — the
+// wait metered into Metrics.IdleNs — and returns the decoded words in a
+// pooled buffer. Hand receiver-side buffers back via Recycle once consumed
+// so the steady state allocates nothing; never Recycle the root's return
+// (it is the caller's own payload slice).
+func (op BcastOp) Wait() []uint64 {
+	g := op.g
+	if g.Size() == 1 || g.idx == op.root {
+		return op.words
+	}
+	f := g.c.waitTagIdle(op.t)
+	out, err := op.codec.AppendDecoded(g.c.getWordBuf()[:0], f.Bytes[8:])
 	if err != nil {
 		panic(fmt.Sprintf("comm: group bcast decode: %v", err))
 	}
@@ -118,6 +142,16 @@ func (g *Group) Bcast(root int, words []uint64, codec Codec, buf []uint64) []uin
 	transport.PutBuf(f.Bytes)
 	return out
 }
+
+// Bcast is the blocking broadcast: IBcast posted and completed in place.
+// Same buffer discipline as Wait.
+func (g *Group) Bcast(root int, words []uint64, codec Codec) []uint64 {
+	return g.IBcast(root, words, codec).Wait()
+}
+
+// Recycle returns a buffer obtained from a non-root Wait/Bcast to the
+// communicator-wide free list (shared across this Comm's groups).
+func (g *Group) Recycle(buf []uint64) { g.c.recycleWordBuf(buf) }
 
 // Allgather contributes words from every member and returns one slice per
 // member, indexed by member position (the caller's own entry is a copy).

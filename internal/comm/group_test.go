@@ -54,14 +54,14 @@ func TestGroupBcast(t *testing.T) {
 				return
 			}
 			results[rank] = make([][]uint64, g.Size())
-			var buf []uint64
 			for root := 0; root < g.Size(); root++ {
 				payload := []uint64{uint64(root) * 100, 7, uint64(root)}
 				if g.Index() == root {
-					results[rank][root] = slices.Clone(g.Bcast(root, payload, codec, nil))
+					results[rank][root] = slices.Clone(g.Bcast(root, payload, codec))
 				} else {
-					buf = g.Bcast(root, nil, codec, buf)
+					buf := g.Bcast(root, nil, codec)
 					results[rank][root] = slices.Clone(buf)
+					g.Recycle(buf)
 				}
 			}
 		})
@@ -88,7 +88,7 @@ func TestGroupBcastMeteredAsData(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		g.Bcast(0, []uint64{1, 2, 3, 4}, Varint, nil)
+		g.Bcast(0, []uint64{1, 2, 3, 4}, Varint)
 		ms[rank] = c.M
 	})
 	root := ms[0]
@@ -158,17 +158,23 @@ func TestGroupRowColInterleaved(t *testing.T) {
 			colPay := []uint64{uint64(5000*cc + 10*k)}
 			var rw, cw []uint64
 			if rowGrp.Index() == root {
-				rw = rowGrp.Bcast(root, rowPay, Varint, nil)
+				rw = rowGrp.Bcast(root, rowPay, Varint)
 			} else {
-				rw = rowGrp.Bcast(root, nil, Varint, nil)
+				rw = rowGrp.Bcast(root, nil, Varint)
 			}
 			if colGrp.Index() == root {
-				cw = colGrp.Bcast(root, colPay, Varint, nil)
+				cw = colGrp.Bcast(root, colPay, Varint)
 			} else {
-				cw = colGrp.Bcast(root, nil, Varint, nil)
+				cw = colGrp.Bcast(root, nil, Varint)
 			}
 			results[rank].row[k] = slices.Clone(rw)
 			results[rank].col[k] = slices.Clone(cw)
+			if rowGrp.Index() != root {
+				rowGrp.Recycle(rw)
+			}
+			if colGrp.Index() != root {
+				colGrp.Recycle(cw)
+			}
 		}
 	})
 	for rank := 0; rank < p; rank++ {
@@ -190,6 +196,92 @@ func TestGroupRowColInterleaved(t *testing.T) {
 	}
 }
 
+// TestGroupIBcastPipelinedInterleaved is the tag-safety property test for
+// the split-phase exchange: on a rectangular 2×3 grid every PE keeps the
+// round-(k+1) row AND column broadcasts in flight while consuming round k,
+// over a network that holds data frames back for many Recv polls while
+// letting control (word) frames overtake them — a Barrier runs between post
+// and completion every round, so barrier traffic passes the delayed
+// payloads. Any tag confusion (across rounds, across the row/col streams,
+// or with the barrier) would surface as a wrong or misordered payload.
+func TestGroupIBcastPipelinedInterleaved(t *testing.T) {
+	const r, c = 2, 3
+	const p = r * c
+	const rounds = 6
+	for _, delay := range []int{3, 40} {
+		net := &delayNet{inner: transport.NewChanNetwork(p), delay: delay}
+		type got struct{ row, col [rounds][]uint64 }
+		results := make([]got, p)
+		var wg sync.WaitGroup
+		for rank := 0; rank < p; rank++ {
+			ep, err := net.Endpoint(rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(rank int, ep transport.Endpoint) {
+				defer wg.Done()
+				cm := New(ep)
+				a, b := rank/c, rank%c
+				rowGrp, err := cm.NewGroup(uint64(a), []int{a * c, a*c + 1, a*c + 2})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				colGrp, err := cm.NewGroup(uint64(r+b), []int{b, c + b})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				post := func(k int) (BcastOp, BcastOp) {
+					rowRoot, colRoot := k%c, k%r
+					var rowPay, colPay []uint64
+					if rowGrp.Index() == rowRoot {
+						rowPay = []uint64{uint64(1000*a + k), uint64(k)}
+					}
+					if colGrp.Index() == colRoot {
+						colPay = []uint64{uint64(5000*b + k)}
+					}
+					return rowGrp.IBcast(rowRoot, rowPay, Varint), colGrp.IBcast(colRoot, colPay, Varint)
+				}
+				rowOp, colOp := post(0)
+				for k := 0; k < rounds; k++ {
+					var nextRow, nextCol BcastOp
+					if k+1 < rounds {
+						nextRow, nextCol = post(k + 1) // round k+1 in flight behind round k
+					}
+					cm.Barrier() // control frames overtake the held data frames
+					rw, cw := rowOp.Wait(), colOp.Wait()
+					results[rank].row[k] = slices.Clone(rw)
+					results[rank].col[k] = slices.Clone(cw)
+					if rowGrp.Index() != k%c {
+						rowGrp.Recycle(rw)
+					}
+					if colGrp.Index() != k%r {
+						colGrp.Recycle(cw)
+					}
+					rowOp, colOp = nextRow, nextCol
+				}
+			}(rank, ep)
+		}
+		wg.Wait()
+		net.Close()
+		for rank := 0; rank < p; rank++ {
+			a, b := rank/c, rank%c
+			for k := 0; k < rounds; k++ {
+				wantRow := []uint64{uint64(1000*a + k), uint64(k)}
+				wantCol := []uint64{uint64(5000*b + k)}
+				if !slices.Equal(results[rank].row[k], wantRow) {
+					t.Fatalf("delay=%d rank %d round %d row: %v, want %v", delay, rank, k, results[rank].row[k], wantRow)
+				}
+				if !slices.Equal(results[rank].col[k], wantCol) {
+					t.Fatalf("delay=%d rank %d round %d col: %v, want %v", delay, rank, k, results[rank].col[k], wantCol)
+				}
+			}
+		}
+	}
+}
+
 func TestGroupSize1(t *testing.T) {
 	runComms(t, 1, func(rank int, c *Comm) {
 		g, err := c.NewGroup(0, []int{0})
@@ -198,8 +290,12 @@ func TestGroupSize1(t *testing.T) {
 			return
 		}
 		words := []uint64{4, 5, 6}
-		if got := g.Bcast(0, words, Varint, nil); !slices.Equal(got, words) {
+		if got := g.Bcast(0, words, Varint); !slices.Equal(got, words) {
 			t.Errorf("size-1 bcast: %v", got)
+		}
+		op := g.IBcast(0, words, Varint)
+		if got := op.Wait(); !slices.Equal(got, words) {
+			t.Errorf("size-1 ibcast: %v", got)
 		}
 		all := g.Allgather(words, Varint)
 		if len(all) != 1 || !slices.Equal(all[0], words) {
@@ -214,7 +310,7 @@ func TestGroupSize1(t *testing.T) {
 // BenchmarkGroupBcastSteadyState is the allocation gate for the collective
 // exchange: one op is a root→member block broadcast plus a member→root ack
 // broadcast on the same group (the lock-step keeps the inbox bounded). After
-// warmup grows the root's encode scratch, the member's decode buffer, and
+// warmup grows the root's encode scratch, the pooled decode buffers, and
 // the frame pool, both sides must run at 0 allocs/op.
 func BenchmarkGroupBcastSteadyState(b *testing.B) {
 	net := transport.NewChanNetwork(2)
@@ -237,12 +333,12 @@ func BenchmarkGroupBcastSteadyState(b *testing.B) {
 		if err != nil {
 			panic(err)
 		}
-		var buf []uint64
 		ack := []uint64{1}
 		for {
-			buf = g.Bcast(0, nil, Varint, buf)
+			buf := g.Bcast(0, nil, Varint)
 			done := len(buf) > 0 && buf[0] == stopWord
-			g.Bcast(1, ack, Varint, nil)
+			g.Recycle(buf)
+			g.Bcast(1, ack, Varint)
 			if done {
 				return
 			}
@@ -259,13 +355,80 @@ func BenchmarkGroupBcastSteadyState(b *testing.B) {
 	for i := range payload {
 		payload[i] = uint64(i%37) + 1
 	}
-	var ackBuf []uint64
 	round := func(words []uint64) {
-		g.Bcast(0, words, Varint, nil)
-		ackBuf = g.Bcast(1, nil, Varint, ackBuf)
+		g.Bcast(0, words, Varint)
+		ackBuf := g.Bcast(1, nil, Varint)
+		g.Recycle(ackBuf)
 	}
 	for i := 0; i < 16; i++ {
-		round(payload) // warmup: grow scratch, decode buffer, frame pool
+		round(payload) // warmup: grow scratch, decode buffers, frame pool
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round(payload)
+	}
+	b.StopTimer()
+	round([]uint64{stopWord})
+	wg.Wait()
+}
+
+// BenchmarkIBcastSteadyState gates the split-phase path: each op posts the
+// data broadcast and the reverse ack broadcast before completing either —
+// two collectives in flight per iteration, value-typed handles, pooled
+// decode buffers — and must run at 0 allocs/op on both sides once warm.
+func BenchmarkIBcastSteadyState(b *testing.B) {
+	net := transport.NewChanNetwork(2)
+	defer net.Close()
+	eps := make([]transport.Endpoint, 2)
+	for rank := range eps {
+		ep, err := net.Endpoint(rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eps[rank] = ep
+	}
+	const stopWord = ^uint64(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := New(eps[1])
+		g, err := c.NewGroup(1, []int{0, 1})
+		if err != nil {
+			panic(err)
+		}
+		ack := []uint64{1}
+		for {
+			op := g.IBcast(0, nil, Varint)
+			ackOp := g.IBcast(1, ack, Varint)
+			buf := op.Wait()
+			done := len(buf) > 0 && buf[0] == stopWord
+			g.Recycle(buf)
+			ackOp.Wait()
+			if done {
+				return
+			}
+		}
+	}()
+	c := New(eps[0])
+	g, err := c.NewGroup(1, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]uint64, 512)
+	for i := range payload {
+		payload[i] = uint64(i%37) + 1
+	}
+	round := func(words []uint64) {
+		op := g.IBcast(0, words, Varint)
+		ackOp := g.IBcast(1, nil, Varint)
+		op.Wait()
+		ackBuf := ackOp.Wait()
+		g.Recycle(ackBuf)
+	}
+	for i := 0; i < 16; i++ {
+		round(payload)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

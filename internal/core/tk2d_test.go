@@ -10,18 +10,23 @@ import (
 )
 
 // TestTK2DEquivalence pins TK2D to the sequential oracle on every fixture
-// across the full p × Threads grid of square PE counts.
+// across the full p × Threads grid — square and rectangular PE counts, both
+// the blocking and the pipelined (Overlap) exchange schedule.
 func TestTK2DEquivalence(t *testing.T) {
 	for _, tg := range testgraph.All {
-		for _, p := range []int{1, 4, 9, 16} {
+		for _, p := range []int{1, 4, 6, 8, 9, 16} {
 			for _, threads := range []int{1, 4} {
-				res, err := Run(AlgoTK2D, tg.Build(), Config{P: p, Threads: threads})
-				if err != nil {
-					t.Fatalf("%s p=%d threads=%d: %v", tg.Name, p, threads, err)
-				}
-				if res.Count != tg.Triangles {
-					t.Errorf("%s p=%d threads=%d: count %d, want %d",
-						tg.Name, p, threads, res.Count, tg.Triangles)
+				for _, overlap := range []bool{false, true} {
+					res, err := Run(AlgoTK2D, tg.Build(),
+						Config{P: p, Threads: threads, Overlap: overlap})
+					if err != nil {
+						t.Fatalf("%s p=%d threads=%d overlap=%v: %v",
+							tg.Name, p, threads, overlap, err)
+					}
+					if res.Count != tg.Triangles {
+						t.Errorf("%s p=%d threads=%d overlap=%v: count %d, want %d",
+							tg.Name, p, threads, overlap, res.Count, tg.Triangles)
+					}
 				}
 			}
 		}
@@ -66,17 +71,14 @@ func TestTK2DHubKernels(t *testing.T) {
 	}
 }
 
-// TestTK2DCollect checks the collected triangle set equals the oracle's.
+// TestTK2DCollect checks the collected triangle set equals the oracle's —
+// on a square and a rectangular grid, blocking and pipelined.
 func TestTK2DCollect(t *testing.T) {
 	tg, ok := testgraph.ByName("cliques")
 	if !ok {
 		t.Fatal("cliques fixture missing")
 	}
 	fix := tg.Build()
-	res, err := Run(AlgoTK2D, fix, Config{P: 4, Collect: true, Threads: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
 	want, err := Run(AlgoDiTric, fix, Config{P: 4, Collect: true})
 	if err != nil {
 		t.Fatal(err)
@@ -93,19 +95,37 @@ func TestTK2DCollect(t *testing.T) {
 		})
 		return out
 	}
-	got, exp := norm(res.Triangles), norm(want.Triangles)
-	if !slices.Equal(got, exp) {
-		t.Fatalf("triangle sets differ: got %d, want %d", len(got), len(exp))
+	exp := norm(want.Triangles)
+	for _, p := range []int{4, 6} {
+		for _, overlap := range []bool{false, true} {
+			res, err := Run(AlgoTK2D, fix,
+				Config{P: p, Collect: true, Threads: 2, Overlap: overlap})
+			if err != nil {
+				t.Fatalf("p=%d overlap=%v: %v", p, overlap, err)
+			}
+			got := norm(res.Triangles)
+			if !slices.Equal(got, exp) {
+				t.Fatalf("p=%d overlap=%v: triangle sets differ: got %d, want %d",
+					p, overlap, len(got), len(exp))
+			}
+		}
 	}
 }
 
-// TestTK2DConfigValidation pins the rejected configurations: non-square P,
-// LCC, and 1D partition overrides.
+// TestTK2DConfigValidation pins what is accepted and what is rejected:
+// every P ≥ 1 now factors into a rectangular grid (non-square counts
+// included), while LCC, 1D partition overrides, and unknown codecs error.
 func TestTK2DConfigValidation(t *testing.T) {
 	g := gen.Complete(10)
+	const wantTris = 120 // C(10,3)
 	for _, p := range []int{2, 3, 5, 8, 12} {
-		if _, err := Run(AlgoTK2D, g, Config{P: p}); err == nil {
-			t.Errorf("p=%d: want error for non-square PE count", p)
+		res, err := Run(AlgoTK2D, g, Config{P: p})
+		if err != nil {
+			t.Errorf("p=%d: rectangular grid rejected: %v", p, err)
+			continue
+		}
+		if res.Count != wantTris {
+			t.Errorf("p=%d: count %d, want %d", p, res.Count, wantTris)
 		}
 	}
 	if _, err := Run(AlgoTK2D, g, Config{P: 4, LCC: true}); err == nil {
@@ -146,6 +166,30 @@ func TestTK2DExchangeFoldsIntoGlobal(t *testing.T) {
 	if res.PhaseComm[PhaseLocal].TotalPayload != 0 {
 		t.Fatalf("tk2d local counting shipped %d payload words",
 			res.PhaseComm[PhaseLocal].TotalPayload)
+	}
+}
+
+// TestTK2DPipelinedMetersOverlap pins the pipelined schedule's metering:
+// with Overlap set and more than one round, counting wall spent while the
+// next round's broadcasts are in flight lands in Metrics.OverlapNs.
+func TestTK2DPipelinedMetersOverlap(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 7))
+	res, err := Run(AlgoTK2D, g, Config{P: 9, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.TotalOverlapNs == 0 {
+		t.Fatal("pipelined tk2d metered no overlap")
+	}
+	blocking, err := Run(AlgoTK2D, g, Config{P: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.Agg.TotalOverlapNs != 0 {
+		t.Fatalf("blocking tk2d metered overlap: %d ns", blocking.Agg.TotalOverlapNs)
+	}
+	if res.Count != blocking.Count {
+		t.Fatalf("pipelined count %d != blocking count %d", res.Count, blocking.Count)
 	}
 }
 

@@ -30,9 +30,10 @@ const (
 	AlgoHavoq   Algorithm = "havoq"
 	AlgoNoAgg   Algorithm = "noagg"
 	// AlgoTK2D is the 2D grid-partitioned counter à la Tom & Karypis: the
-	// oriented adjacency matrix is cut into a √p×√p block grid and counting
-	// proceeds in √p broadcast rounds along grid rows and columns instead of
-	// 1D cut-neighborhood shipping. Requires a square P.
+	// oriented adjacency matrix is cut into an r×c block grid (any P ≥ 1;
+	// square P gives the classic √p×√p grid) and counting proceeds in
+	// lcm(r,c) broadcast rounds along grid rows and columns instead of 1D
+	// cut-neighborhood shipping.
 	AlgoTK2D Algorithm = "tk2d"
 )
 
@@ -129,6 +130,12 @@ type Config struct {
 	// phase finishes; CETRIC's interleave with its cut send sweep. Counts
 	// are exactly identical to the barriered path (the default), which
 	// remains selectable as the oracle.
+	//
+	// For TK2D the same knob pipelines the round loop: round k+1's row and
+	// column broadcasts are posted split-phase (comm.Group.IBcast) before
+	// round k's block-local counting drains, making the per-round critical
+	// path max(comm, compute) instead of comm + compute. Counts are
+	// identical to the blocking schedule.
 	Overlap bool
 
 	// Codec selects the wire codec policy for the queue channels: "auto"

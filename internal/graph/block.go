@@ -8,11 +8,14 @@ import (
 )
 
 // 2D block views of the oriented adjacency matrix. ScatterEdges2D deals the
-// edge list into the q×q block grid of part.Grid2D (one slice per owning
+// edge list into the r×c block grid of part.Grid2D (one slice per owning
 // PE), and Block is the per-PE CSR over band-relative indices that the TK2D
-// counting rounds broadcast and intersect. Entries are band-relative
-// (rel(v) = v div q), which keeps the wire varints and the hub-bitmap
-// domains q× denser than global IDs.
+// counting rounds broadcast and intersect. Rows are row-band-relative
+// (rel(u) = u div r) and entries column-band-relative (rel(v) = v div c),
+// which keeps the wire varints and the hub-bitmap domains r× resp. c×
+// denser than global IDs. On rectangular grids each counting round ships a
+// stripe of a block — the entries in one middle-vertex band mod
+// L = lcm(r, c) — extracted and translated to round space by StripeInto.
 
 // ScatterEdges2D deals edges into the block grid: each non-loop edge {u,v}
 // is canon-oriented (U < V) and lands in exactly one slice, its block
@@ -104,12 +107,16 @@ func ScatterEdges2DRank(g2 *part.Grid2D, edges []Edge, rank, threads int) []Edge
 // Block is one block of the oriented upper-triangular adjacency matrix in
 // CSR form: row i (relative index within band bandRow) lists the relative
 // indices, within band bandCol, of the larger endpoints v of edges (u, v)
-// with rel(u) = i — ascending, deduplicated. A transposed block (built by
-// Transpose, broadcast down grid columns) has the same shape with the roles
-// swapped: bandRow is the column band and entries index the row band.
+// with rel(u) = i — ascending, deduplicated, each below domain (the entry
+// band's size). A transposed block (built by Transpose, broadcast down grid
+// columns) has the same shape with the roles swapped; a stripe (built by
+// StripeInto, the rectangular-grid round operand) carries the counting
+// round as bandCol and round-space entries. Blocks carry their dimensions
+// explicitly rather than a grid pointer, since on rectangular grids row and
+// entry indices live in different bandings (row/column/round).
 type Block struct {
-	g2               *part.Grid2D
 	bandRow, bandCol int
+	domain           int      // entry band size: every col value is < domain
 	off              []int64  // len NRows+1
 	col              []Vertex // band-relative entries, ascending per row
 	hubs             hubIndex
@@ -120,9 +127,9 @@ type Block struct {
 // ScatterEdges2D delivers); duplicates are merged. The two-pass layout plus
 // per-row sort/dedup makes the result independent of the thread count.
 func BuildBlock2D(g2 *part.Grid2D, rank int, edges []Edge, threads int) *Block {
-	r, c := g2.RowCol(rank)
-	b := &Block{g2: g2, bandRow: r, bandCol: c}
-	nRows := g2.BandSize(r)
+	a, bc := g2.RowCol(rank)
+	b := &Block{bandRow: a, bandCol: bc, domain: g2.BandSizeCol(bc)}
+	nRows := g2.BandSizeRow(a)
 	b.off = make([]int64, nRows+1)
 	if len(edges) == 0 {
 		return b
@@ -133,10 +140,10 @@ func BuildBlock2D(g2 *part.Grid2D, rank int, edges []Edge, threads int) *Block {
 		h := cnt[worker*nRows : (worker+1)*nRows]
 		for i := lo; i < hi; i++ {
 			e := edges[i]
-			if e.U >= e.V || g2.Band(e.U) != r || g2.Band(e.V) != c {
-				panic(fmt.Sprintf("graph: edge (%d,%d) does not belong to block (%d,%d)", e.U, e.V, r, c))
+			if e.U >= e.V || g2.BandRow(e.U) != a || g2.BandCol(e.V) != bc {
+				panic(fmt.Sprintf("graph: edge (%d,%d) does not belong to block (%d,%d)", e.U, e.V, a, bc))
 			}
-			h[g2.Rel(e.U)]++
+			h[g2.RelRow(e.U)]++
 		}
 	})
 	pos := make([]int64, w*nRows)
@@ -153,8 +160,8 @@ func BuildBlock2D(g2 *part.Grid2D, rank int, edges []Edge, threads int) *Block {
 		cur := pos[worker*nRows : (worker+1)*nRows]
 		for i := lo; i < hi; i++ {
 			e := edges[i]
-			row := g2.Rel(e.U)
-			b.col[cur[row]] = g2.Rel(e.V)
+			row := g2.RelRow(e.U)
+			b.col[cur[row]] = g2.RelCol(e.V)
 			cur[row]++
 		}
 	})
@@ -185,6 +192,9 @@ func (b *Block) BandRow() int { return b.bandRow }
 // BandCol returns the band its entries index.
 func (b *Block) BandCol() int { return b.bandCol }
 
+// Domain returns the entry band's size (every entry is < Domain).
+func (b *Block) Domain() int { return b.domain }
+
 // NRows returns the number of rows (the row band's size).
 func (b *Block) NRows() int { return len(b.off) - 1 }
 
@@ -199,8 +209,8 @@ func (b *Block) Row(rel int) []Vertex { return b.col[b.off[rel]:b.off[rel+1]] }
 // order per row follows source row order, so rows come out ascending with
 // no further sort.
 func (b *Block) Transpose(threads int) *Block {
-	t := &Block{g2: b.g2, bandRow: b.bandCol, bandCol: b.bandRow}
-	nRowsT := b.g2.BandSize(t.bandRow)
+	t := &Block{bandRow: b.bandCol, bandCol: b.bandRow, domain: b.NRows()}
+	nRowsT := b.domain
 	t.off = make([]int64, nRowsT+1)
 	nRows := b.NRows()
 	w := workersFor(threads, nRows, 64)
@@ -235,12 +245,42 @@ func (b *Block) Transpose(threads int) *Block {
 	return t
 }
 
+// StripeInto extracts into dst the entries congruent to residue modulo
+// stride, translated to round space ((e − residue) / stride — an affine,
+// order-preserving map), dropping rows that come up empty. round becomes
+// dst's entry band and domain its entry domain (the round band's size).
+// dst's off/col capacity is reused, so the steady-state exchange extracts
+// without allocating. For stride 1 the stripe equals the whole block;
+// callers skip the copy and use the block directly.
+func (b *Block) StripeInto(dst *Block, round, residue, stride, domain int) {
+	nRows := b.NRows()
+	dst.bandRow, dst.bandCol, dst.domain = b.bandRow, round, domain
+	if cap(dst.off) < nRows+1 {
+		dst.off = make([]int64, nRows+1)
+	}
+	dst.off = dst.off[:nRows+1]
+	dst.col = dst.col[:0]
+	dst.hubs = hubIndex{}
+	res, str := Vertex(residue), Vertex(stride)
+	w := int64(0)
+	for row := 0; row < nRows; row++ {
+		dst.off[row] = w
+		for _, v := range b.Row(row) {
+			if v%str == res {
+				dst.col = append(dst.col, (v-res)/str)
+				w++
+			}
+		}
+	}
+	dst.off[nRows] = w
+}
+
 // BuildHubs indexes heavy rows with packed bitmaps over the entry band's
 // domain (see buildHubs for the memory cap); minDeg ≤ 0 disables. Queries
 // against a hub row become branchless bit tests, hub ∩ hub word-AND +
 // popcount — the same kernels the 1D counters dispatch to.
 func (b *Block) BuildHubs(minDeg, threads int) {
-	b.hubs = buildHubs(b.NRows(), b.g2.BandSize(b.bandCol), b.off, b.col, minDeg, threads)
+	b.hubs = buildHubs(b.NRows(), b.domain, b.off, b.col, minDeg, threads)
 }
 
 // Hub returns row rel's bitmap, nil when the row is not indexed.
@@ -290,23 +330,22 @@ func (b *Block) AppendWire(dst []uint64) []uint64 {
 	return dst
 }
 
-// DecodeBlockInto rebuilds a Block from wire words, reusing b's off and col
-// capacity so the steady-state exchange decodes without allocating. The
-// rows arrive ascending (AppendWire's order), so the CSR assembles in one
-// pass.
-func DecodeBlockInto(g2 *part.Grid2D, wire []uint64, b *Block) error {
+// DecodeBlockInto rebuilds a Block from wire words, validating the header
+// against the bands the receiver expects for this round and sizing rows and
+// entries by the caller-supplied dimensions (nRows rows, entries < domain).
+// b's off and col capacity is reused, so the steady-state exchange decodes
+// without allocating. The rows arrive ascending (AppendWire's order), so
+// the CSR assembles in one pass.
+func DecodeBlockInto(wire []uint64, bandRow, bandCol, nRows, domain int, b *Block) error {
 	if len(wire) < 3 {
 		return fmt.Errorf("graph: block wire truncated (%d words)", len(wire))
 	}
-	b.g2 = g2
-	b.bandRow, b.bandCol = int(wire[0]), int(wire[1])
-	if b.bandRow >= g2.Q() || b.bandCol >= g2.Q() {
-		return fmt.Errorf("graph: block wire names band (%d,%d) outside the %d-grid", b.bandRow, b.bandCol, g2.Q())
+	if int(wire[0]) != bandRow || int(wire[1]) != bandCol {
+		return fmt.Errorf("graph: block wire names bands (%d,%d), expected (%d,%d)", wire[0], wire[1], bandRow, bandCol)
 	}
+	b.bandRow, b.bandCol, b.domain = bandRow, bandCol, domain
 	used := int(wire[2])
 	wire = wire[3:]
-	nRows := g2.BandSize(b.bandRow)
-	domain := Vertex(g2.BandSize(b.bandCol))
 	if cap(b.off) < nRows+1 {
 		b.off = make([]int64, nRows+1)
 	}
@@ -338,7 +377,7 @@ func DecodeBlockInto(g2 *part.Grid2D, wire []uint64, b *Block) error {
 			if i > 0 {
 				v += prev
 			}
-			if v >= domain || (i > 0 && v <= prev) {
+			if v >= Vertex(domain) || (i > 0 && v <= prev) {
 				return fmt.Errorf("graph: block wire record %d entry %d out of order or range", rec, i)
 			}
 			b.col = append(b.col, v)

@@ -33,61 +33,63 @@ func block2DEdges(t *testing.T, n uint64, seed uint64) []Edge {
 // slice — its owner's — canon-oriented; loops are dropped; the layout is
 // byte-identical across thread counts.
 func TestScatterEdges2DPartition(t *testing.T) {
-	g2, err := part.NewGrid2D(37, 9)
-	if err != nil {
-		t.Fatal(err)
-	}
-	edges := block2DEdges(t, 37, 12345)
-	ref := ScatterEdges2D(g2, edges, 1)
-	nonLoops := 0
-	for _, e := range edges {
-		if e.U != e.V {
-			nonLoops++
+	for _, p := range []int{9, 6} {
+		g2, err := part.NewGrid2D(37, p)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	placed := 0
-	for rank, slice := range ref {
-		for _, e := range slice {
-			if e.U >= e.V {
-				t.Fatalf("rank %d holds non-canon edge (%d,%d)", rank, e.U, e.V)
-			}
-			if got := g2.Owner(e.U, e.V); got != rank {
-				t.Fatalf("edge (%d,%d) in slice %d, owner is %d", e.U, e.V, rank, got)
+		edges := block2DEdges(t, 37, 12345)
+		ref := ScatterEdges2D(g2, edges, 1)
+		nonLoops := 0
+		for _, e := range edges {
+			if e.U != e.V {
+				nonLoops++
 			}
 		}
-		placed += len(slice)
-	}
-	if placed != nonLoops {
-		t.Fatalf("placed %d edges, want %d non-loops", placed, nonLoops)
-	}
-	for _, threads := range []int{2, 4, 7} {
-		got := ScatterEdges2D(g2, edges, threads)
+		placed := 0
+		for rank, slice := range ref {
+			for _, e := range slice {
+				if e.U >= e.V {
+					t.Fatalf("rank %d holds non-canon edge (%d,%d)", rank, e.U, e.V)
+				}
+				if got := g2.Owner(e.U, e.V); got != rank {
+					t.Fatalf("edge (%d,%d) in slice %d, owner is %d", e.U, e.V, rank, got)
+				}
+			}
+			placed += len(slice)
+		}
+		if placed != nonLoops {
+			t.Fatalf("placed %d edges, want %d non-loops", placed, nonLoops)
+		}
+		for _, threads := range []int{2, 4, 7} {
+			got := ScatterEdges2D(g2, edges, threads)
+			for rank := range ref {
+				if !slices.Equal(got[rank], ref[rank]) {
+					t.Fatalf("threads=%d: slice %d differs from single-thread layout", threads, rank)
+				}
+			}
+		}
 		for rank := range ref {
-			if !slices.Equal(got[rank], ref[rank]) {
-				t.Fatalf("threads=%d: slice %d differs from single-thread layout", threads, rank)
+			if got := ScatterEdges2DRank(g2, edges, rank, 3); !slices.Equal(got, ref[rank]) {
+				t.Fatalf("ScatterEdges2DRank(%d) differs from ScatterEdges2D slice", rank)
 			}
-		}
-	}
-	for rank := range ref {
-		if got := ScatterEdges2DRank(g2, edges, rank, 3); !slices.Equal(got, ref[rank]) {
-			t.Fatalf("ScatterEdges2DRank(%d) differs from ScatterEdges2D slice", rank)
 		}
 	}
 }
 
 // blockOracle builds the expected per-row entry sets with a map.
 func blockOracle(g2 *part.Grid2D, rank int, edges []Edge) map[int][]Vertex {
-	r, c := g2.RowCol(rank)
+	a, c := g2.RowCol(rank)
 	rows := make(map[int]map[Vertex]bool)
 	for _, e := range edges {
-		if g2.Band(e.U) != r || g2.Band(e.V) != c {
+		if g2.BandRow(e.U) != a || g2.BandCol(e.V) != c {
 			continue
 		}
-		row := int(g2.Rel(e.U))
+		row := int(g2.RelRow(e.U))
 		if rows[row] == nil {
 			rows[row] = make(map[Vertex]bool)
 		}
-		rows[row][g2.Rel(e.V)] = true
+		rows[row][g2.RelCol(e.V)] = true
 	}
 	out := make(map[int][]Vertex, len(rows))
 	for row, set := range rows {
@@ -115,50 +117,108 @@ func checkBlockAgainstOracle(t *testing.T, b *Block, oracle map[int][]Vertex, la
 }
 
 // TestBuildBlock2D pins the CSR against a map oracle, across thread counts,
-// with duplicates in the input.
+// with duplicates in the input — on square and rectangular grids.
 func TestBuildBlock2D(t *testing.T) {
-	g2, err := part.NewGrid2D(29, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	per := ScatterEdges2D(g2, block2DEdges(t, 29, 777), 2)
-	for rank := 0; rank < g2.P(); rank++ {
-		// Inject duplicates: BuildBlock2D must merge them.
-		in := append(slices.Clone(per[rank]), per[rank]...)
-		oracle := blockOracle(g2, rank, in)
-		for _, threads := range []int{1, 3} {
-			b := BuildBlock2D(g2, rank, in, threads)
-			r, c := g2.RowCol(rank)
-			if b.BandRow() != r || b.BandCol() != c || b.NRows() != g2.BandSize(r) {
-				t.Fatalf("rank %d: block shape (%d,%d,%d)", rank, b.BandRow(), b.BandCol(), b.NRows())
+	for _, p := range []int{4, 6, 8} {
+		g2, err := part.NewGrid2D(29, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := ScatterEdges2D(g2, block2DEdges(t, 29, 777), 2)
+		for rank := 0; rank < g2.P(); rank++ {
+			// Inject duplicates: BuildBlock2D must merge them.
+			in := append(slices.Clone(per[rank]), per[rank]...)
+			oracle := blockOracle(g2, rank, in)
+			for _, threads := range []int{1, 3} {
+				b := BuildBlock2D(g2, rank, in, threads)
+				a, c := g2.RowCol(rank)
+				if b.BandRow() != a || b.BandCol() != c ||
+					b.NRows() != g2.BandSizeRow(a) || b.Domain() != g2.BandSizeCol(c) {
+					t.Fatalf("p=%d rank %d: block shape (%d,%d,%d,%d)", p, rank, b.BandRow(), b.BandCol(), b.NRows(), b.Domain())
+				}
+				checkBlockAgainstOracle(t, b, oracle, "block")
 			}
-			checkBlockAgainstOracle(t, b, oracle, "block")
 		}
 	}
 }
 
 // TestBlockTranspose: the transpose holds exactly the flipped entries, rows
-// ascending, bands swapped.
+// ascending, bands and dimensions swapped.
 func TestBlockTranspose(t *testing.T) {
-	g2, err := part.NewGrid2D(23, 9)
+	for _, p := range []int{9, 6} {
+		g2, err := part.NewGrid2D(23, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := ScatterEdges2D(g2, block2DEdges(t, 23, 999), 1)
+		for rank := 0; rank < g2.P(); rank++ {
+			b := BuildBlock2D(g2, rank, per[rank], 2)
+			for _, threads := range []int{1, 4} {
+				bt := b.Transpose(threads)
+				if bt.BandRow() != b.BandCol() || bt.BandCol() != b.BandRow() ||
+					bt.NRows() != b.Domain() || bt.Domain() != b.NRows() {
+					t.Fatalf("p=%d rank %d: transpose shape (%d,%d,%d,%d)", p, rank, bt.BandRow(), bt.BandCol(), bt.NRows(), bt.Domain())
+				}
+				oracle := make(map[int][]Vertex)
+				for row := 0; row < b.NRows(); row++ {
+					for _, v := range b.Row(row) {
+						oracle[int(v)] = append(oracle[int(v)], Vertex(row))
+					}
+				}
+				checkBlockAgainstOracle(t, bt, oracle, "transpose")
+			}
+		}
+	}
+}
+
+// TestBlockStripe: StripeInto selects exactly the entries in the round's
+// residue class, order-preserved and translated to round space, and the
+// stripes across all rounds tile the block.
+func TestBlockStripe(t *testing.T) {
+	g2, err := part.NewGrid2DRect(41, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	per := ScatterEdges2D(g2, block2DEdges(t, 23, 999), 1)
+	per := ScatterEdges2D(g2, block2DEdges(t, 41, 2024), 1)
 	for rank := 0; rank < g2.P(); rank++ {
-		b := BuildBlock2D(g2, rank, per[rank], 2)
-		for _, threads := range []int{1, 4} {
-			bt := b.Transpose(threads)
-			if bt.BandRow() != b.BandCol() || bt.BandCol() != b.BandRow() {
-				t.Fatalf("rank %d: transpose bands (%d,%d)", rank, bt.BandRow(), bt.BandCol())
+		b := BuildBlock2D(g2, rank, per[rank], 1)
+		_, bc := g2.RowCol(rank)
+		var stripe Block // reused across rounds: extraction must fully overwrite
+		covered := 0
+		for k := 0; k < g2.Rounds(); k++ {
+			if g2.RootRow(k) != bc {
+				continue // block (a, k mod c) is some other PE's this round
 			}
-			oracle := make(map[int][]Vertex)
+			res, stride := g2.StripeRow(k)
+			domain := g2.BandSizeRound(k)
+			b.StripeInto(&stripe, k, res, stride, domain)
+			if stripe.BandRow() != b.BandRow() || stripe.BandCol() != k ||
+				stripe.NRows() != b.NRows() || stripe.Domain() != domain {
+				t.Fatalf("rank %d round %d: stripe shape (%d,%d,%d,%d)", rank, k, stripe.BandRow(), stripe.BandCol(), stripe.NRows(), stripe.Domain())
+			}
 			for row := 0; row < b.NRows(); row++ {
+				var want []Vertex
 				for _, v := range b.Row(row) {
-					oracle[int(v)] = append(oracle[int(v)], Vertex(row))
+					if int(v)%stride == res {
+						want = append(want, (v-Vertex(res))/Vertex(stride))
+					}
 				}
+				if !slices.Equal(stripe.Row(row), want) {
+					t.Fatalf("rank %d round %d row %d: stripe %v, want %v", rank, k, row, stripe.Row(row), want)
+				}
+				for _, tt := range stripe.Row(row) {
+					// Translation is consistent: round + t reconstructs a vertex of
+					// the block's entry band in residue class k mod L.
+					v := g2.GIDRound(k, uint64(tt))
+					if g2.BandCol(v) != bc {
+						t.Fatalf("rank %d round %d: t=%d maps to %d outside column band %d", rank, k, tt, v, bc)
+					}
+				}
+				covered += len(want)
 			}
-			checkBlockAgainstOracle(t, bt, oracle, "transpose")
+		}
+		if covered != b.NNZ() {
+			t.Fatalf("rank %d: stripes cover %d entries, block has %d", rank, covered, b.NNZ())
 		}
 	}
 }
@@ -166,40 +226,41 @@ func TestBlockTranspose(t *testing.T) {
 // TestBlockWireRoundTrip: AppendWire → DecodeBlockInto reproduces the block,
 // including through reuse of a previously-populated scratch block.
 func TestBlockWireRoundTrip(t *testing.T) {
-	g2, err := part.NewGrid2D(41, 9)
-	if err != nil {
-		t.Fatal(err)
-	}
-	per := ScatterEdges2D(g2, block2DEdges(t, 41, 4242), 2)
-	var scratch Block // reused across ranks: decode must fully overwrite
-	for rank := 0; rank < g2.P(); rank++ {
-		b := BuildBlock2D(g2, rank, per[rank], 1)
-		wire := b.AppendWire(nil)
-		if err := DecodeBlockInto(g2, wire, &scratch); err != nil {
-			t.Fatalf("rank %d: decode: %v", rank, err)
+	for _, p := range []int{9, 6} {
+		g2, err := part.NewGrid2D(41, p)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if scratch.BandRow() != b.BandRow() || scratch.BandCol() != b.BandCol() ||
-			scratch.NRows() != b.NRows() || scratch.NNZ() != b.NNZ() {
-			t.Fatalf("rank %d: decoded shape differs", rank)
-		}
-		for row := 0; row < b.NRows(); row++ {
-			if !slices.Equal(scratch.Row(row), b.Row(row)) {
-				t.Fatalf("rank %d row %d: decoded %v, want %v", rank, row, scratch.Row(row), b.Row(row))
+		per := ScatterEdges2D(g2, block2DEdges(t, 41, 4242), 2)
+		var scratch Block // reused across ranks: decode must fully overwrite
+		for rank := 0; rank < g2.P(); rank++ {
+			b := BuildBlock2D(g2, rank, per[rank], 1)
+			wire := b.AppendWire(nil)
+			if err := DecodeBlockInto(wire, b.BandRow(), b.BandCol(), b.NRows(), b.Domain(), &scratch); err != nil {
+				t.Fatalf("rank %d: decode: %v", rank, err)
+			}
+			if scratch.BandRow() != b.BandRow() || scratch.BandCol() != b.BandCol() ||
+				scratch.NRows() != b.NRows() || scratch.NNZ() != b.NNZ() || scratch.Domain() != b.Domain() {
+				t.Fatalf("rank %d: decoded shape differs", rank)
+			}
+			for row := 0; row < b.NRows(); row++ {
+				if !slices.Equal(scratch.Row(row), b.Row(row)) {
+					t.Fatalf("rank %d row %d: decoded %v, want %v", rank, row, scratch.Row(row), b.Row(row))
+				}
 			}
 		}
 	}
 }
 
-// TestDecodeBlockIntoRejectsMalformed: truncation, bad bands, descending
-// rows, out-of-range and out-of-order entries, trailing garbage.
+// TestDecodeBlockIntoRejectsMalformed: truncation, band mismatches,
+// descending rows, out-of-range and out-of-order entries, trailing garbage.
+// Expected dims mirror block (0,1) of a 2×2 grid over n=20: 10 rows,
+// domain 10.
 func TestDecodeBlockIntoRejectsMalformed(t *testing.T) {
-	g2, err := part.NewGrid2D(20, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
 	for name, wire := range map[string][]uint64{
 		"truncated header":                 {0, 1},
-		"band out of range":                {5, 0, 0},
+		"wrong row band":                   {5, 1, 0},
+		"wrong col band":                   {0, 2, 0},
 		"truncated record":                 {0, 1, 1, 0},
 		"zero-length row":                  {0, 1, 1, 0, 0},
 		"row out of range":                 {0, 1, 1, 99, 1, 0},
@@ -210,24 +271,25 @@ func TestDecodeBlockIntoRejectsMalformed(t *testing.T) {
 		"trailing words":                   {0, 1, 1, 0, 1, 0, 7},
 	} {
 		var b Block
-		if err := DecodeBlockInto(g2, wire, &b); err == nil {
+		if err := DecodeBlockInto(wire, 0, 1, 10, 10, &b); err == nil {
 			t.Errorf("%s: decode accepted %v", name, wire)
 		}
 	}
 }
 
 // FuzzBlockMapping is the satellite fuzz target: for arbitrary edge streams
-// and any square p, every non-loop edge belongs to exactly one block, that
+// and any r×c grid, every non-loop edge belongs to exactly one block, that
 // block round-trips to the owning rank, and the built block survives a wire
 // round trip bit-exactly.
 func FuzzBlockMapping(f *testing.F) {
-	f.Add([]byte{}, uint16(7), uint8(2))
-	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0}, uint16(9), uint8(3))
-	f.Add([]byte{9, 0, 3, 0, 3, 0, 9, 0, 5, 0, 5, 0}, uint16(50), uint8(5))
-	f.Fuzz(func(t *testing.T, data []byte, nRaw uint16, qRaw uint8) {
+	f.Add([]byte{}, uint16(7), uint8(2), uint8(2))
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0}, uint16(9), uint8(3), uint8(3))
+	f.Add([]byte{9, 0, 3, 0, 3, 0, 9, 0, 5, 0, 5, 0}, uint16(50), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint16, rRaw, cRaw uint8) {
 		n := uint64(nRaw%300) + 1
-		q := int(qRaw%8) + 1
-		g2, err := part.NewGrid2D(n, q*q)
+		r := int(rRaw%5) + 1
+		c := int(cRaw%5) + 1
+		g2, err := part.NewGrid2DRect(n, r, c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,9 +310,9 @@ func FuzzBlockMapping(f *testing.F) {
 				if g2.Owner(e.U, e.V) != rank {
 					t.Fatalf("edge (%d,%d) misrouted to %d", e.U, e.V, rank)
 				}
-				r, c := g2.RowCol(rank)
-				if int(g2.Band(e.U)) != r || int(g2.Band(e.V)) != c {
-					t.Fatalf("edge (%d,%d) bands disagree with block (%d,%d)", e.U, e.V, r, c)
+				a, b := g2.RowCol(rank)
+				if g2.BandRow(e.U) != a || g2.BandCol(e.V) != b {
+					t.Fatalf("edge (%d,%d) bands disagree with block (%d,%d)", e.U, e.V, a, b)
 				}
 			}
 		}
@@ -271,7 +333,7 @@ func FuzzBlockMapping(f *testing.F) {
 		}
 		b := BuildBlock2D(g2, best, per[best], 1)
 		var rt Block
-		if err := DecodeBlockInto(g2, b.AppendWire(nil), &rt); err != nil {
+		if err := DecodeBlockInto(b.AppendWire(nil), b.BandRow(), b.BandCol(), b.NRows(), b.Domain(), &rt); err != nil {
 			t.Fatalf("wire round trip: %v", err)
 		}
 		if rt.NNZ() != b.NNZ() || rt.NRows() != b.NRows() {
